@@ -1,0 +1,54 @@
+// Command inspect prints the container metadata of scdc streams without
+// decompressing them.
+//
+//	inspect file.scdc [more.scdc ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"scdc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: inspect <file.scdc> ...")
+		os.Exit(2)
+	}
+	fail := false
+	for _, path := range os.Args[1:] {
+		if err := inspect(path); err != nil {
+			fmt.Fprintf(os.Stderr, "inspect: %s: %v\n", path, err)
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func inspect(path string) error {
+	stream, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	info, err := scdc.Inspect(stream)
+	if err != nil {
+		return err
+	}
+	raw := info.Points * 8
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  version    %d\n", info.Version)
+	fmt.Printf("  algorithm  %v\n", info.Algorithm)
+	fmt.Printf("  dims       %v (%d points)\n", info.Dims, info.Points)
+	fmt.Printf("  payload    %d bytes (CR %.2f vs float64)\n",
+		info.PayloadBytes, scdc.CompressionRatio(raw, len(stream)))
+	if info.Chunked {
+		fmt.Printf("  chunks     %d x extent %d along dim 0\n", info.Chunks, info.ChunkExtent)
+		for i, cb := range info.ChunkBytes {
+			fmt.Printf("    chunk %3d: %d bytes\n", i, cb)
+		}
+	}
+	return nil
+}

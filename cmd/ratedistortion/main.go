@@ -1,0 +1,204 @@
+// Command ratedistortion regenerates the paper's rate-distortion figures
+// (Figures 10-15) and compression-statistics tables (Tables II and IV) on
+// the synthetic benchmark datasets.
+//
+// Rate-distortion series for one dataset (bit-rate vs PSNR, every base
+// compressor with and without QP):
+//
+//	ratedistortion -dataset Miranda
+//
+// Table II (CR at PSNR ~= 75 on SegSalt, all bases +- QP):
+//
+//	ratedistortion -table2
+//
+// Table IV (CR/PSNR/speed vs ZFP, TTHRESH, SPERR at rel eb 1e-3/1e-5):
+//
+//	ratedistortion -table4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"scdc"
+	"scdc/internal/bench"
+	"scdc/internal/datagen"
+	"scdc/internal/plot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ratedistortion:", err)
+		os.Exit(1)
+	}
+}
+
+var datasetsByName = map[string]datagen.Dataset{
+	"Miranda": datagen.Miranda, "Hurricane": datagen.Hurricane,
+	"SegSalt": datagen.SegSalt, "SCALE": datagen.Scale,
+	"S3D": datagen.S3D, "CESM-3D": datagen.CESM, "RTM": datagen.RTM,
+}
+
+func run() error {
+	var (
+		dataset = flag.String("dataset", "Miranda", "dataset name, or 'all'")
+		field   = flag.Int("field", 1, "field index")
+		ebsArg  = flag.String("ebs", "1e-2,3e-3,1e-3,3e-4,1e-4,3e-5,1e-5", "relative error bounds")
+		seed    = flag.Int64("seed", 1, "synthesis seed")
+		table2  = flag.Bool("table2", false, "reproduce Table II (SegSalt, PSNR~=75)")
+		table4  = flag.Bool("table4", false, "reproduce Table IV (vs ZFP/TTHRESH/SPERR)")
+		svgdir  = flag.String("svgdir", "", "also render each dataset's rate-distortion figure as SVG into this directory")
+	)
+	flag.Parse()
+
+	cache := bench.NewFieldCache()
+	switch {
+	case *table2:
+		return runTable2(cache, *seed)
+	case *table4:
+		return runTable4(cache, *seed)
+	}
+
+	ebs, err := parseEBs(*ebsArg)
+	if err != nil {
+		return err
+	}
+	names := []string{*dataset}
+	if *dataset == "all" {
+		names = []string{"Miranda", "SegSalt", "SCALE", "CESM-3D", "S3D", "Hurricane"}
+	}
+	for _, name := range names {
+		ds, ok := datasetsByName[name]
+		if !ok {
+			return fmt.Errorf("unknown dataset %q", name)
+		}
+		fmt.Printf("# Rate-distortion, %s field %d (Figures 10-15)\n", name, *field)
+		fmt.Printf("%-8s %-5s %-10s %10s %10s %9s\n", "alg", "qp", "rel_eb", "bitrate", "psnr", "cr")
+		pts, err := bench.RateDistortion(cache, ds, *field, nil, *seed, ebs)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			fmt.Printf("%-8v %-5v %-10g %10.4f %10.2f %9.2f\n",
+				p.Algorithm, p.QP, p.RelEB, p.BitRate, p.PSNR, p.CR)
+		}
+		fmt.Println()
+		if *svgdir != "" {
+			if err := renderRD(name, pts, *svgdir); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderRD draws the dataset's rate-distortion figure (bit-rate vs PSNR,
+// one series per base compressor, dashed for +QP) as SVG.
+func renderRD(name string, pts []bench.Point, dir string) error {
+	bySeries := map[string]*plot.Series{}
+	var order []string
+	for _, p := range pts {
+		key := p.Algorithm.String()
+		if p.QP {
+			key += "+QP"
+		}
+		s, ok := bySeries[key]
+		if !ok {
+			s = &plot.Series{Name: key, Dashed: p.QP}
+			bySeries[key] = s
+			order = append(order, key)
+		}
+		s.X = append(s.X, p.BitRate)
+		s.Y = append(s.Y, p.PSNR)
+	}
+	c := plot.Chart{
+		Title:  "Rate-distortion, " + name,
+		XLabel: "bit-rate (bits/sample, log)",
+		YLabel: "PSNR (dB)",
+		LogX:   true,
+	}
+	for _, key := range order {
+		c.Series = append(c.Series, *bySeries[key])
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "ratedistortion_"+name+".svg")
+	if err := os.WriteFile(path, svg, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func runTable2(cache *bench.FieldCache, seed int64) error {
+	fmt.Println("# Table II: SegSalt pressure field, rows aligned at PSNR ~= 75")
+	fmt.Printf("%-8s %12s %8s %12s %12s %12s\n", "alg", "maxRelErr", "psnr", "cr_base", "cr_qp", "gain")
+	for _, alg := range bench.BaseAlgorithms {
+		base, err := bench.SearchPSNR(cache, datagen.SegSalt, 1, nil, seed, alg, false, 75, 0.75)
+		if err != nil {
+			return err
+		}
+		// QP at the same bound: identical output, better ratio.
+		f := cache.Get(datagen.SegSalt, 1, nil, seed)
+		qp, err := bench.Run(f, datagen.SegSalt, 1, alg, true, base.RelEB)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8v %12.3g %8.2f %12.2f %12.2f %11.1f%%\n",
+			alg, base.MaxErr/f.Range(), base.PSNR, base.CR, qp.CR, 100*(qp.CR/base.CR-1))
+	}
+	return nil
+}
+
+func runTable4(cache *bench.FieldCache, seed int64) error {
+	for _, ds := range []datagen.Dataset{datagen.Miranda, datagen.SegSalt} {
+		fmt.Printf("# Table IV: %v\n", ds)
+		fmt.Printf("%-11s %-8s %9s %8s %9s %9s\n", "compressor", "rel_eb", "cr", "psnr", "Sc MB/s", "Sd MB/s")
+		for _, rel := range []float64{1e-3, 1e-5} {
+			f := cache.Get(ds, 1, nil, seed)
+			row := func(label string, alg scdc.Algorithm, qp bool) error {
+				p, err := bench.Run(f, ds, 1, alg, qp, rel)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-11s %-8g %9.2f %8.2f %9.1f %9.1f\n",
+					label, rel, p.CR, p.PSNR, p.CompMBps, p.DecMBps)
+				return nil
+			}
+			for _, alg := range bench.BaseAlgorithms {
+				if err := row(alg.String(), alg, false); err != nil {
+					return err
+				}
+				if err := row(alg.String()+"+QP", alg, true); err != nil {
+					return err
+				}
+			}
+			for _, alg := range bench.Comparators {
+				if err := row(alg.String(), alg, false); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func parseEBs(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad error bound %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

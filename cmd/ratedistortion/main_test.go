@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseEBs(t *testing.T) {
+	got, err := parseEBs("1e-3, 5e-4")
+	if err != nil || len(got) != 2 || got[1] != 5e-4 {
+		t.Fatalf("parseEBs: %v %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "-1e-3", "0"} {
+		if _, err := parseEBs(bad); err == nil {
+			t.Errorf("parseEBs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDatasetTable(t *testing.T) {
+	for name := range datasetsByName {
+		if name == "" {
+			t.Fatal("empty dataset name")
+		}
+	}
+	if len(datasetsByName) != 7 {
+		t.Fatalf("expected 7 datasets, got %d", len(datasetsByName))
+	}
+}

@@ -1,0 +1,221 @@
+// Command scdc compresses and decompresses raw binary scientific data
+// files with the library's error-bounded compressors.
+//
+// Compress a 3D float32 volume with SZ3+QP at absolute bound 1e-3:
+//
+//	scdc -z -in data.f32 -out data.scdc -dims 256x384x384 -dtype f32 \
+//	     -alg SZ3 -qp -eb 1e-3
+//
+// Decompress:
+//
+//	scdc -x -in data.scdc -out restored.f32 -dtype f32
+//
+// Generate a synthetic benchmark field instead of reading a file:
+//
+//	scdc -z -dataset Miranda -out miranda.scdc -alg QoZ -qp -rel 1e-4
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"scdc"
+	"scdc/datasets"
+	"scdc/internal/grid"
+	"scdc/internal/qoi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scdc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		compress   = flag.Bool("z", false, "compress")
+		decompress = flag.Bool("x", false, "decompress")
+		in         = flag.String("in", "", "input file (raw floats for -z, scdc stream for -x)")
+		out        = flag.String("out", "", "output file")
+		dimsArg    = flag.String("dims", "", "input dimensions, e.g. 256x384x384 (first dim slowest)")
+		dtype      = flag.String("dtype", "f32", "raw element type: f32 or f64 (little endian)")
+		algArg     = flag.String("alg", "SZ3", "algorithm: SZ3, QoZ, HPEZ, MGARD, ZFP, TTHRESH, SPERR")
+		qp         = flag.Bool("qp", false, "enable quantization index prediction (interpolation-based algorithms)")
+		eb         = flag.Float64("eb", 0, "absolute error bound")
+		rel        = flag.Float64("rel", 0, "value-range-relative error bound")
+		dataset    = flag.String("dataset", "", "synthesize this benchmark dataset instead of reading -in")
+		field      = flag.Int("field", 0, "dataset field index (with -dataset)")
+		seed       = flag.Int64("seed", 1, "dataset synthesis seed (with -dataset)")
+		verify     = flag.Bool("verify", false, "after -z, decompress and report quality metrics")
+	)
+	flag.Parse()
+
+	switch {
+	case *compress == *decompress:
+		return fmt.Errorf("exactly one of -z and -x is required")
+	case *out == "":
+		return fmt.Errorf("-out is required")
+	}
+
+	if *decompress {
+		return doDecompress(*in, *out, *dtype)
+	}
+
+	alg, err := scdc.ParseAlgorithm(*algArg)
+	if err != nil {
+		return err
+	}
+	var data []float64
+	var dims []int
+	switch {
+	case *dataset != "":
+		data, dims, err = datasets.Generate(*dataset, *field, nil, *seed)
+		if err != nil {
+			return err
+		}
+	case *in != "":
+		dims, err = parseDims(*dimsArg)
+		if err != nil {
+			return err
+		}
+		data, err = readRaw(*in, *dtype, dims)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -in or -dataset is required with -z")
+	}
+
+	opts := scdc.Options{Algorithm: alg, ErrorBound: *eb, RelativeBound: *rel}
+	if *qp {
+		opts.QP = scdc.DefaultQP()
+	}
+	t0 := time.Now()
+	stream, err := scdc.Compress(data, dims, opts)
+	if err != nil {
+		return err
+	}
+	dt := time.Since(t0)
+	if err := os.WriteFile(*out, stream, 0o644); err != nil {
+		return err
+	}
+	raw := len(data) * 8
+	fmt.Printf("%s %v dims=%v %d -> %d bytes  CR=%.2f  %.1f MB/s\n",
+		*out, alg, dims, raw, len(stream),
+		scdc.CompressionRatio(raw, len(stream)),
+		float64(raw)/1e6/dt.Seconds())
+
+	if *verify {
+		res, err := scdc.Decompress(stream)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		psnr, _ := scdc.PSNR(data, res.Data)
+		maxErr, _ := scdc.MaxAbsError(data, res.Data)
+		fmt.Printf("verify: PSNR=%.2f dB  max|err|=%.3g\n", psnr, maxErr)
+		// Quantity-of-interest check: regional average and derivative
+		// errors against their closed-form bounds (see internal/qoi).
+		fo, err1 := grid.FromSlice(data, dims...)
+		fd, err2 := grid.FromSlice(res.Data, dims...)
+		if err1 == nil && err2 == nil {
+			if rep, err := qoi.Check(fo, fd, maxErr); err == nil {
+				fmt.Printf("verify: QoI avg err=%.3g (bound %.3g)  deriv err=%.3g (bound %.3g)\n",
+					rep.AvgErr, rep.AvgBound, rep.MaxDerivErr, rep.DerivBound)
+			}
+		}
+	}
+	return nil
+}
+
+func doDecompress(in, out, dtype string) error {
+	if in == "" {
+		return fmt.Errorf("-in is required with -x")
+	}
+	stream, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	res, err := scdc.Decompress(stream)
+	if err != nil {
+		return err
+	}
+	dt := time.Since(t0)
+	var buf []byte
+	switch dtype {
+	case "f32":
+		buf = make([]byte, 4*len(res.Data))
+		for i, v := range res.Data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(float32(v)))
+		}
+	case "f64":
+		buf = make([]byte, 8*len(res.Data))
+		for i, v := range res.Data {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+	default:
+		return fmt.Errorf("unknown dtype %q", dtype)
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s %v dims=%v  %.1f MB/s\n", out, res.Algorithm, res.Dims,
+		float64(len(buf))/1e6/dt.Seconds())
+	return nil
+}
+
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-dims is required with -in")
+	}
+	parts := strings.Split(s, "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dims %q", s)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func readRaw(path, dtype string, dims []int) ([]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	switch dtype {
+	case "f32":
+		if len(raw) != 4*n {
+			return nil, fmt.Errorf("file holds %d bytes, dims need %d", len(raw), 4*n)
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:])))
+		}
+		return out, nil
+	case "f64":
+		if len(raw) != 8*n {
+			return nil, fmt.Errorf("file holds %d bytes, dims need %d", len(raw), 8*n)
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown dtype %q", dtype)
+	}
+}

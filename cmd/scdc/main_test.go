@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scdc"
+)
+
+func TestParseDims(t *testing.T) {
+	dims, err := parseDims("4x5x6")
+	if err != nil || len(dims) != 3 || dims[0] != 4 || dims[2] != 6 {
+		t.Fatalf("parseDims: %v %v", dims, err)
+	}
+	for _, bad := range []string{"", "4x-1", "axb", "0x3"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Errorf("parseDims(%q) accepted", bad)
+		}
+	}
+}
+
+func writeRaw32(t *testing.T, vals []float32) string {
+	t.Helper()
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	path := filepath.Join(t.TempDir(), "data.f32")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadRaw(t *testing.T) {
+	path := writeRaw32(t, []float32{1, 2, 3, 4, 5, 6})
+	data, err := readRaw(path, "f32", []int{2, 3})
+	if err != nil || len(data) != 6 || data[4] != 5 {
+		t.Fatalf("readRaw: %v %v", data, err)
+	}
+	if _, err := readRaw(path, "f32", []int{7}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := readRaw(path, "f64", []int{6}); err == nil {
+		t.Error("wrong dtype size accepted")
+	}
+	if _, err := readRaw(path, "bogus", []int{6}); err == nil {
+		t.Error("unknown dtype accepted")
+	}
+	if _, err := readRaw(filepath.Join(t.TempDir(), "missing"), "f32", []int{1}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestDoDecompressRoundTrip(t *testing.T) {
+	// Compress via the library, decompress via the CLI path.
+	data := make([]float64, 4*5*6)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 9)
+	}
+	stream, err := scdc.Compress(data, []int{4, 5, 6}, scdc.Options{Algorithm: scdc.SZ3, ErrorBound: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.scdc")
+	out := filepath.Join(dir, "x.f64")
+	if err := os.WriteFile(in, stream, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := doDecompress(in, out, "f64"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 8*len(data) {
+		t.Fatalf("output size %d", len(raw))
+	}
+	for i := range data {
+		got := math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		if math.Abs(got-data[i]) > 1e-4 {
+			t.Fatalf("value %d: %g vs %g", i, got, data[i])
+		}
+	}
+	if err := doDecompress(in, out, "bogus"); err == nil {
+		t.Error("unknown dtype accepted")
+	}
+	if err := doDecompress("", out, "f64"); err == nil {
+		t.Error("missing input accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Command transfer reproduces the paper's end-to-end parallel data
+// transfer experiment (Figure 18): the RTM dataset is compressed in an
+// embarrassingly parallel fashion, written to a parallel filesystem,
+// moved over a WAN link (default: the paper's measured 461.75 MB/s Globus
+// rate), read back and decompressed, under strong scaling over the core
+// counts. Per-slice compression cost and ratio are measured by actually
+// running the SZ3 and SZ3+QP compressors on sampled synthetic slices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"scdc/internal/plot"
+	"scdc/internal/transfer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "transfer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		slices  = flag.Int("slices", 3600, "number of 3D time slices")
+		cores   = flag.String("cores", "225,450,900,1800", "strong-scaling core counts")
+		link    = flag.Float64("link", 461.75, "physical WAN bandwidth, MB/s")
+		scale   = flag.Bool("scalelink", true, "scale the link to the reduced dataset size so the compute/bandwidth balance matches the paper")
+		fs      = flag.Float64("fs", 5000, "aggregate parallel FS bandwidth, MB/s")
+		relEB   = flag.Float64("rel", 1e-4, "relative error bound")
+		samples = flag.Int("samples", 4, "slices to measure")
+		seed    = flag.Int64("seed", 1, "synthesis seed")
+		svg     = flag.String("svg", "", "also render the strong-scaling figure as SVG to this path")
+	)
+	flag.Parse()
+
+	coreList, err := parseInts(*cores)
+	if err != nil {
+		return err
+	}
+	cfg := transfer.Config{
+		Slices:       *slices,
+		Cores:        coreList,
+		LinkMBps:     *link,
+		FSMBps:       *fs,
+		SampleSlices: *samples,
+		Seed:         *seed,
+	}
+	// Resolve the relative bound against one slice.
+	cfg.ErrorBound = *relEB * 2.7 // RTM slice value range is ~2.7
+	if *scale {
+		cfg.LinkMBps = transfer.ScaledLinkMBps(cfg, *link)
+		cfg.FSMBps = transfer.ScaledLinkMBps(cfg, *fs)
+	}
+	res, err := transfer.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("# Figure 18: end-to-end transfer, %d slices, effective link %.2f MB/s\n", *slices, cfg.LinkMBps)
+	fmt.Printf("raw (uncompressed) transfer: %.1f s\n\n", transfer.RawTransferSeconds(cfg))
+	fmt.Printf("%-6s %-8s %8s %8s %9s %8s %8s %9s %9s %8s\n",
+		"cores", "variant", "comp", "write", "transfer", "read", "decomp", "total", "cr", "psnr")
+	base := plot.Series{Name: "SZ3"}
+	qp := plot.Series{Name: "SZ3+QP", Dashed: true}
+	var pairTotal [2]float64
+	for i, r := range res {
+		variant := "SZ3"
+		if r.QP {
+			variant = "SZ3+QP"
+		}
+		fmt.Printf("%-6d %-8s %8.1f %8.1f %9.1f %8.1f %8.1f %9.1f %9.2f %8.2f\n",
+			r.Cores, variant,
+			r.Stages.Compress, r.Stages.Write, r.Stages.Transfer,
+			r.Stages.Read, r.Stages.Decompress, r.Stages.Total(), r.CR, r.PSNR)
+		pairTotal[i%2] = r.Stages.Total()
+		if r.QP {
+			qp.X = append(qp.X, float64(r.Cores))
+			qp.Y = append(qp.Y, r.Stages.Total())
+		} else {
+			base.X = append(base.X, float64(r.Cores))
+			base.Y = append(base.Y, r.Stages.Total())
+		}
+		if i%2 == 1 {
+			fmt.Printf("       -> QP end-to-end speedup: %.3fx\n", pairTotal[0]/pairTotal[1])
+		}
+	}
+	if *svg != "" {
+		c := plot.Chart{
+			Title:  "End-to-end transfer (Figure 18)",
+			XLabel: "cores (log)",
+			YLabel: "total time (s)",
+			LogX:   true,
+			Series: []plot.Series{base, qp},
+		}
+		img, err := c.SVG()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*svg, img, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *svg)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad core count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Fatalf("parseInts: %v %v", got, err)
+	}
+	for _, bad := range []string{"", "a", "0", "-2", "1,,2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}

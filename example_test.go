@@ -1,0 +1,70 @@
+package scdc_test
+
+import (
+	"fmt"
+	"log"
+
+	"scdc"
+)
+
+// ExampleCompress demonstrates the basic compress/decompress cycle with
+// the paper's QP configuration enabled.
+func ExampleCompress() {
+	// A small smooth 3D field.
+	dims := []int{8, 8, 8}
+	data := make([]float64, 512)
+	for i := range data {
+		data[i] = float64(i%64) / 64
+	}
+
+	stream, err := scdc.Compress(data, dims, scdc.Options{
+		Algorithm:  scdc.SZ3,
+		ErrorBound: 1e-3,
+		QP:         scdc.DefaultQP(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := scdc.Decompress(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr, _ := scdc.MaxAbsError(data, res.Data)
+	fmt.Println("algorithm:", res.Algorithm)
+	fmt.Println("within bound:", maxErr <= 1e-3)
+	// Output:
+	// algorithm: SZ3
+	// within bound: true
+}
+
+// ExampleDefaultQP shows the paper's best-fit configuration.
+func ExampleDefaultQP() {
+	qp := scdc.DefaultQP()
+	fmt.Println(qp.Mode == scdc.QP2D, qp.Condition == scdc.QPCaseIII, qp.MaxLevel)
+	// Output: true true 2
+}
+
+// ExampleInspect reads stream metadata without decompressing.
+func ExampleInspect() {
+	data := make([]float64, 1000)
+	stream, err := scdc.Compress(data, []int{10, 10, 10}, scdc.Options{
+		Algorithm:  scdc.QoZ,
+		ErrorBound: 1e-3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := scdc.Inspect(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(info.Algorithm, info.Dims, info.Points)
+	// Output: QoZ [10 10 10] 1000
+}
+
+// ExampleParseAlgorithm resolves algorithm names from configuration.
+func ExampleParseAlgorithm() {
+	alg, err := scdc.ParseAlgorithm("HPEZ")
+	fmt.Println(alg, err == nil, alg.SupportsQP())
+	// Output: HPEZ true true
+}

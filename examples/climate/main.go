@@ -1,0 +1,62 @@
+// Climate post-processing scenario: a CESM-like atmosphere snapshot is
+// archived under a strict quality target. The example sweeps every
+// compressor in the library over a range of error bounds and prints the
+// rate-distortion table an archive operator would use to pick a codec —
+// the in-miniature version of the paper's Figure 13 and Table IV.
+//
+//	go run ./examples/climate
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"scdc"
+	"scdc/datasets"
+)
+
+func main() {
+	data, dims, err := datasets.Generate("CESM-3D", 2, nil, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := len(data) * 8
+	fmt.Printf("CESM-like field %v, %.1f MB raw\n\n", dims, float64(raw)/1e6)
+
+	algorithms := []struct {
+		name string
+		opts scdc.Options
+	}{
+		{"SZ3", scdc.Options{Algorithm: scdc.SZ3}},
+		{"SZ3+QP", scdc.Options{Algorithm: scdc.SZ3, QP: scdc.DefaultQP()}},
+		{"QoZ+QP", scdc.Options{Algorithm: scdc.QoZ, QP: scdc.DefaultQP()}},
+		{"HPEZ+QP", scdc.Options{Algorithm: scdc.HPEZ, QP: scdc.DefaultQP()}},
+		{"MGARD+QP", scdc.Options{Algorithm: scdc.MGARD, QP: scdc.DefaultQP()}},
+		{"ZFP", scdc.Options{Algorithm: scdc.ZFP}},
+		{"SPERR", scdc.Options{Algorithm: scdc.SPERR}},
+	}
+
+	fmt.Printf("%-9s %-8s %9s %9s %9s %10s\n", "codec", "rel_eb", "CR", "PSNR", "bitrate", "comp MB/s")
+	for _, rel := range []float64{1e-3, 1e-4} {
+		for _, a := range algorithms {
+			opts := a.opts
+			opts.RelativeBound = rel
+			t0 := time.Now()
+			stream, err := scdc.Compress(data, dims, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dt := time.Since(t0).Seconds()
+			res, err := scdc.Decompress(stream)
+			if err != nil {
+				log.Fatal(err)
+			}
+			psnr, _ := scdc.PSNR(data, res.Data)
+			cr := scdc.CompressionRatio(raw, len(stream))
+			fmt.Printf("%-9s %-8g %9.2f %9.2f %9.4f %10.1f\n",
+				a.name, rel, cr, psnr, scdc.BitRate(64, cr), float64(raw)/1e6/dt)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: compress and decompress a 3D scientific field with SZ3 and
+// quantization index prediction (QP), verify the error bound, and compare
+// against the plain base compressor.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scdc"
+	"scdc/datasets"
+)
+
+func main() {
+	// Synthesize a turbulence-like benchmark field (stand-in for the
+	// Miranda dataset; any []float64 in row-major order works).
+	data, dims, err := datasets.Generate("Miranda", 0, nil, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("field: %v = %d samples\n", dims, len(data))
+
+	// Compress with SZ3 at a value-range-relative bound of 1e-3, with the
+	// paper's best-fit QP configuration.
+	stream, err := scdc.Compress(data, dims, scdc.Options{
+		Algorithm:     scdc.SZ3,
+		RelativeBound: 1e-3,
+		QP:            scdc.DefaultQP(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same compression without QP, for comparison: QP only changes
+	// the compressed representation, never the decompressed values.
+	base, err := scdc.Compress(data, dims, scdc.Options{
+		Algorithm:     scdc.SZ3,
+		RelativeBound: 1e-3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	raw := len(data) * 8
+	fmt.Printf("raw:     %10d bytes\n", raw)
+	fmt.Printf("SZ3:     %10d bytes  CR=%6.2f\n", len(base), scdc.CompressionRatio(raw, len(base)))
+	fmt.Printf("SZ3+QP:  %10d bytes  CR=%6.2f  (%.1f%% smaller)\n",
+		len(stream), scdc.CompressionRatio(raw, len(stream)),
+		100*(1-float64(len(stream))/float64(len(base))))
+
+	// Decompress and verify quality.
+	res, err := scdc.Decompress(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	psnr, _ := scdc.PSNR(data, res.Data)
+	maxErr, _ := scdc.MaxAbsError(data, res.Data)
+	fmt.Printf("decompressed: PSNR=%.2f dB, max|err|=%.3g\n", psnr, maxErr)
+}

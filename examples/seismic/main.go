@@ -1,0 +1,75 @@
+// Seismic streaming scenario: a reverse-time-migration run produces a
+// stream of 3D wavefield snapshots that must cross a bandwidth-limited
+// link. The example compresses a window of consecutive RTM time slices
+// with SZ3+QP, then runs the paper's end-to-end transfer model (Figure 18)
+// to show how the improved ratio converts into wall-clock time saved.
+//
+//	go run ./examples/seismic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scdc"
+	"scdc/datasets"
+	"scdc/internal/transfer"
+)
+
+func main() {
+	// Compress a short window of consecutive snapshots; the wavefront
+	// moves between slices but the earth model is shared, so ratios stay
+	// stable across the stream.
+	fmt.Println("snapshot window, SZ3+QP at rel eb 1e-4:")
+	var rawTotal, qpTotal int
+	for step := 20; step < 24; step++ {
+		data, dims, err := datasets.Generate("RTM", step, nil, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stream, err := scdc.Compress(data, dims, scdc.Options{
+			Algorithm:     scdc.SZ3,
+			RelativeBound: 1e-4,
+			QP:            scdc.DefaultQP(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := scdc.Decompress(stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		psnr, _ := scdc.PSNR(data, res.Data)
+		raw := len(data) * 8
+		rawTotal += raw
+		qpTotal += len(stream)
+		fmt.Printf("  t=%d: %8d -> %7d bytes (CR %6.2f, PSNR %.1f dB)\n",
+			step, raw, len(stream), scdc.CompressionRatio(raw, len(stream)), psnr)
+	}
+	fmt.Printf("window: CR %.2f\n\n", float64(rawTotal)/float64(qpTotal))
+
+	// End-to-end transfer, strong scaling (paper Figure 18). The link is
+	// scaled to the reduced dataset so the compute/bandwidth balance
+	// matches the paper's 635 GB over 461.75 MB/s.
+	cfg := transfer.Config{
+		Slices:       3600,
+		Cores:        []int{225, 1800},
+		ErrorBound:   1e-4 * 2.7,
+		SampleSlices: 2,
+		Seed:         1,
+	}
+	cfg.LinkMBps = transfer.ScaledLinkMBps(cfg, 461.75)
+	cfg.FSMBps = transfer.ScaledLinkMBps(cfg, 5000)
+	res, err := transfer.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("end-to-end transfer of all %d snapshots (raw would take %.0f s):\n",
+		cfg.Slices, transfer.RawTransferSeconds(cfg))
+	for i := 0; i < len(res); i += 2 {
+		base, qp := res[i], res[i+1]
+		fmt.Printf("  %4d cores: SZ3 %6.1f s,  SZ3+QP %6.1f s  (%.2fx)\n",
+			base.Cores, base.Stages.Total(), qp.Stages.Total(),
+			base.Stages.Total()/qp.Stages.Total())
+	}
+}

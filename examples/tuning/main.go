@@ -1,0 +1,84 @@
+// QP tuning walkthrough: reproduces the paper's Section V-C exploration in
+// miniature on one field, showing why the shipped default (2D Lorenzo,
+// Case III, levels 1-2) is the best-fit configuration — and that the
+// adaptive fallback keeps even a badly configured QP from ever enlarging
+// the stream.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scdc"
+	"scdc/datasets"
+)
+
+func main() {
+	data, dims, err := datasets.Generate("SegSalt", 1, nil, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const rel = 1e-4
+
+	base, err := scdc.Compress(data, dims, scdc.Options{Algorithm: scdc.SZ3, RelativeBound: rel})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SegSalt-like field %v, SZ3 base stream: %d bytes\n\n", dims, len(base))
+
+	show := func(label string, qp scdc.QPConfig) {
+		stream, err := scdc.Compress(data, dims, scdc.Options{
+			Algorithm: scdc.SZ3, RelativeBound: rel, QP: qp,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %8d bytes  (%+6.2f%%)\n", label, len(stream),
+			100*(float64(len(base))/float64(len(stream))-1))
+	}
+
+	fmt.Println("prediction dimension (Figure 7):")
+	for _, m := range []struct {
+		label string
+		mode  scdc.QPMode
+	}{
+		{"1D-Back (interp direction)", scdc.QP1DBack},
+		{"1D-Top", scdc.QP1DTop},
+		{"1D-Left", scdc.QP1DLeft},
+		{"2D Lorenzo (paper's pick)", scdc.QP2D},
+		{"3D Lorenzo", scdc.QP3D},
+	} {
+		show(m.label, scdc.QPConfig{Mode: m.mode, Condition: scdc.QPCaseIII, MaxLevel: 2})
+	}
+
+	fmt.Println("\nprediction condition (Figure 8):")
+	for _, c := range []struct {
+		label string
+		cond  scdc.QPCondition
+	}{
+		{"Case I (always)", scdc.QPCaseI},
+		{"Case II (skip unpredictable)", scdc.QPCaseII},
+		{"Case III (paper's pick)", scdc.QPCaseIII},
+		{"Case IV (all same sign)", scdc.QPCaseIV},
+	} {
+		show(c.label, scdc.QPConfig{Mode: scdc.QP2D, Condition: c.cond, MaxLevel: 2})
+	}
+
+	fmt.Println("\nstart level (Figure 9):")
+	for _, l := range []struct {
+		label string
+		max   int
+	}{
+		{"level 1 only", 1},
+		{"levels 1-2 (paper's pick)", 2},
+		{"levels 1-3", 3},
+		{"all levels", 0},
+	} {
+		show(l.label, scdc.QPConfig{Mode: scdc.QP2D, Condition: scdc.QPCaseIII, MaxLevel: l.max})
+	}
+
+	fmt.Println("\nthe shipped default:")
+	show("scdc.DefaultQP()", scdc.DefaultQP())
+}

@@ -1,0 +1,3 @@
+module scdc
+
+go 1.22

@@ -1,0 +1,92 @@
+package scdc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// StreamInfo describes a compressed stream's container metadata without
+// decompressing the payload.
+type StreamInfo struct {
+	// Version is the container format version.
+	Version int
+	// Chunked reports a multi-chunk container (CompressChunked).
+	Chunked bool
+	// Algorithm is the compressor (first chunk's, for chunked streams).
+	Algorithm Algorithm
+	// Dims are the full field extents.
+	Dims []int
+	// Points is the total sample count.
+	Points int
+	// PayloadBytes is the stream size minus the container header.
+	PayloadBytes int
+	// Chunks is the number of chunks (1 for plain streams).
+	Chunks int
+	// ChunkExtent is the per-chunk extent along Dims[0] (chunked only).
+	ChunkExtent int
+	// ChunkBytes lists each chunk's compressed size (chunked only).
+	ChunkBytes []int
+}
+
+// Inspect parses a stream's container header. It reads only metadata —
+// no decompression happens, so it is safe and fast on large streams.
+func Inspect(stream []byte) (*StreamInfo, error) {
+	if len(stream) < 7 || stream[0] != magic[0] || stream[1] != magic[1] ||
+		stream[2] != magic[2] || stream[3] != magic[3] {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	info := &StreamInfo{Version: int(stream[4]), Chunks: 1}
+	if info.Version != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, info.Version)
+	}
+
+	if stream[5] == 0xFF {
+		dims, extent, chunks, err := parseChunked(stream)
+		if err != nil {
+			return nil, err
+		}
+		info.Chunked = true
+		info.Dims = dims
+		info.ChunkExtent = extent
+		info.Chunks = len(chunks)
+		for _, c := range chunks {
+			info.ChunkBytes = append(info.ChunkBytes, len(c))
+			info.PayloadBytes += len(c)
+		}
+		if len(chunks) > 0 {
+			ci, err := Inspect(chunks[0])
+			if err != nil {
+				return nil, fmt.Errorf("chunk 0: %w", err)
+			}
+			info.Algorithm = ci.Algorithm
+		}
+	} else {
+		alg := Algorithm(stream[5])
+		if alg >= numAlgorithms {
+			return nil, fmt.Errorf("%w: unknown algorithm %d", ErrCorrupt, alg)
+		}
+		nd := int(stream[6])
+		if nd < 1 || nd > 4 {
+			return nil, fmt.Errorf("%w: bad dimensionality %d", ErrCorrupt, nd)
+		}
+		buf := stream[7:]
+		dims := make([]int, nd)
+		for i := range dims {
+			v, k := binary.Uvarint(buf)
+			if k <= 0 || v == 0 || v > 1<<40 {
+				return nil, fmt.Errorf("%w: bad dims", ErrCorrupt)
+			}
+			dims[i] = int(v)
+			buf = buf[k:]
+		}
+		info.Algorithm = alg
+		info.Dims = dims
+		info.PayloadBytes = len(buf)
+	}
+
+	info.Points = 1
+	for _, d := range info.Dims {
+		info.Points *= d
+	}
+	return info, nil
+}

@@ -1,0 +1,64 @@
+package scdc
+
+import (
+	"testing"
+
+	"scdc/datasets"
+)
+
+func TestInspectPlain(t *testing.T) {
+	data, dims, err := datasets.Generate("Miranda", 0, []int{16, 20, 24}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := Compress(data, dims, Options{Algorithm: QoZ, RelativeBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Chunked || info.Algorithm != QoZ || info.Points != 16*20*24 || info.Chunks != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Dims[0] != 16 || info.Dims[1] != 20 || info.Dims[2] != 24 {
+		t.Fatalf("dims = %v", info.Dims)
+	}
+	if info.PayloadBytes <= 0 || info.PayloadBytes >= len(stream) {
+		t.Fatalf("payload = %d of %d", info.PayloadBytes, len(stream))
+	}
+}
+
+func TestInspectChunked(t *testing.T) {
+	data, dims, err := datasets.Generate("Miranda", 0, []int{16, 20, 24}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := CompressChunked(data, dims, Options{Algorithm: SZ3, RelativeBound: 1e-3}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Chunked || info.Chunks != 4 || info.ChunkExtent != 4 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Algorithm != SZ3 {
+		t.Fatalf("algorithm = %v", info.Algorithm)
+	}
+	if len(info.ChunkBytes) != 4 {
+		t.Fatalf("chunk bytes = %v", info.ChunkBytes)
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	if _, err := Inspect(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Inspect([]byte("NOTASTREAMATALL")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"scdc"
+	"scdc/internal/datagen"
+)
+
+var testDims = []int{24, 32, 36}
+
+func TestRunBasic(t *testing.T) {
+	cache := NewFieldCache()
+	f := cache.Get(datagen.Miranda, 0, testDims, 1)
+	pt, err := Run(f, datagen.Miranda, 0, scdc.SZ3, true, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CR <= 0 || pt.BitRate <= 0 || math.IsNaN(pt.PSNR) {
+		t.Fatalf("bad point: %+v", pt)
+	}
+	if pt.MaxErr > pt.AbsEB*(1+1e-12) {
+		t.Fatalf("bound violated: %g > %g", pt.MaxErr, pt.AbsEB)
+	}
+	// Float32 datasets report bit-rate against 32 bits.
+	if pt.BitRate != 32/pt.CR {
+		t.Fatalf("bitrate inconsistent: %g vs %g", pt.BitRate, 32/pt.CR)
+	}
+}
+
+func TestFieldCacheReuse(t *testing.T) {
+	cache := NewFieldCache()
+	a := cache.Get(datagen.SegSalt, 1, testDims, 2)
+	b := cache.Get(datagen.SegSalt, 1, testDims, 2)
+	if a != b {
+		t.Fatal("cache did not reuse the field")
+	}
+	c := cache.Get(datagen.SegSalt, 2, testDims, 2)
+	if a == c {
+		t.Fatal("cache conflated distinct fields")
+	}
+}
+
+func TestRateDistortionShape(t *testing.T) {
+	cache := NewFieldCache()
+	pts, err := RateDistortion(cache, datagen.CESM, 0, testDims, 1, []float64{1e-3, 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(BaseAlgorithms)*2*2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// QP points never have a worse CR than base points at the same cell.
+	half := len(pts) / len(BaseAlgorithms)
+	for a := 0; a < len(BaseAlgorithms); a++ {
+		block := pts[a*half : (a+1)*half]
+		for i := 0; i < 2; i++ {
+			base, qp := block[i], block[2+i]
+			if base.Algorithm != qp.Algorithm || base.RelEB != qp.RelEB {
+				t.Fatalf("pairing broken: %+v vs %+v", base, qp)
+			}
+			if qp.CR < base.CR*(1-1e-9) {
+				t.Errorf("%v rel=%g: QP lowered CR %g -> %g", base.Algorithm, base.RelEB, base.CR, qp.CR)
+			}
+			if math.Abs(qp.PSNR-base.PSNR) > 1e-9 {
+				t.Errorf("%v rel=%g: QP changed PSNR", base.Algorithm, base.RelEB)
+			}
+		}
+	}
+}
+
+func TestSearchPSNRConverges(t *testing.T) {
+	cache := NewFieldCache()
+	pt, err := SearchPSNR(cache, datagen.Miranda, 0, testDims, 1, scdc.SZ3, false, 70, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pt.PSNR-70) > 5 {
+		t.Fatalf("search landed at PSNR %.2f, target 70", pt.PSNR)
+	}
+}

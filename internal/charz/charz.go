@@ -1,0 +1,185 @@
+// Package charz implements the quantization-index characterization of the
+// paper's Section IV: per-slice entropy scans across the three coordinate
+// planes (Figure 4), region extraction at the interpolation strides
+// (Figures 3 and 5), regional entropy, and PGM/ASCII rendering of index
+// maps for visual inspection of the clustering effect.
+package charz
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"scdc/internal/entropy"
+)
+
+// ErrBadGeometry reports inconsistent slice geometry.
+var ErrBadGeometry = errors.New("charz: bad geometry")
+
+// Centered converts stored quantization symbols (offset by radius, 0 =
+// unpredictable) to signed indices; unpredictable markers map to 0 so they
+// do not dominate visualizations.
+func Centered(q []int32, radius int32) []int32 {
+	out := make([]int32, len(q))
+	for i, s := range q {
+		if s == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = s - radius
+	}
+	return out
+}
+
+// Slice extracts the 2D plane of a 3D index array where axis is fixed at
+// pos. Returns the plane in row-major order plus its (rows, cols).
+func Slice(q []int32, dims []int, axis, pos int) ([]int32, int, int, error) {
+	if len(dims) != 3 {
+		return nil, 0, 0, fmt.Errorf("%w: need 3D dims, got %v", ErrBadGeometry, dims)
+	}
+	if axis < 0 || axis > 2 || pos < 0 || pos >= dims[axis] {
+		return nil, 0, 0, fmt.Errorf("%w: axis=%d pos=%d for dims %v", ErrBadGeometry, axis, pos, dims)
+	}
+	var a, b int
+	switch axis {
+	case 0:
+		a, b = 1, 2
+	case 1:
+		a, b = 0, 2
+	default:
+		a, b = 0, 1
+	}
+	strides := []int{dims[1] * dims[2], dims[2], 1}
+	rows, cols := dims[a], dims[b]
+	out := make([]int32, rows*cols)
+	base := pos * strides[axis]
+	k := 0
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			out[k] = q[base+i*strides[a]+j*strides[b]]
+			k++
+		}
+	}
+	return out, rows, cols, nil
+}
+
+// Subsample extracts the sub-lattice plane[r*s2][c*s1] — the stride view
+// the paper uses to isolate one interpolation pass's indices (Figure 5
+// plots Regions 1 and 2 at strides 1x2 and 2x2).
+func Subsample(plane []int32, rows, cols, s2, s1 int) ([]int32, int, int, error) {
+	if s1 < 1 || s2 < 1 || rows*cols != len(plane) {
+		return nil, 0, 0, fmt.Errorf("%w: rows=%d cols=%d s=%dx%d", ErrBadGeometry, rows, cols, s2, s1)
+	}
+	nr := (rows + s2 - 1) / s2
+	nc := (cols + s1 - 1) / s1
+	out := make([]int32, 0, nr*nc)
+	for r := 0; r < rows; r += s2 {
+		for c := 0; c < cols; c += s1 {
+			out = append(out, plane[r*cols+c])
+		}
+	}
+	return out, nr, nc, nil
+}
+
+// Region crops the rectangle [r0:r1, c0:c1) from a plane (clipped).
+func Region(plane []int32, rows, cols, r0, r1, c0, c1 int) ([]int32, int, int) {
+	r0, r1 = clamp(r0, 0, rows), clamp(r1, 0, rows)
+	c0, c1 = clamp(c0, 0, cols), clamp(c1, 0, cols)
+	if r1 <= r0 || c1 <= c0 {
+		return nil, 0, 0
+	}
+	out := make([]int32, 0, (r1-r0)*(c1-c0))
+	for r := r0; r < r1; r++ {
+		out = append(out, plane[r*cols+c0:r*cols+c1]...)
+	}
+	return out, r1 - r0, c1 - c0
+}
+
+// SliceEntropies computes, for every slice position along axis, the
+// Shannon entropy of the slice's indices sub-sampled at the given in-plane
+// stride — the paper's Figure 4 (stride 2 isolates the last interpolation
+// level).
+func SliceEntropies(q []int32, dims []int, axis, stride int) ([]float64, error) {
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("%w: need 3D dims", ErrBadGeometry)
+	}
+	out := make([]float64, dims[axis])
+	for pos := 0; pos < dims[axis]; pos++ {
+		plane, rows, cols, err := Slice(q, dims, axis, pos)
+		if err != nil {
+			return nil, err
+		}
+		sub, _, _, err := Subsample(plane, rows, cols, stride, stride)
+		if err != nil {
+			return nil, err
+		}
+		out[pos] = entropy.Shannon(sub)
+	}
+	return out, nil
+}
+
+// RegionalEntropy is the entropy of a cropped region, the number the
+// paper annotates above each Figure 5 subplot.
+func RegionalEntropy(plane []int32, rows, cols, r0, r1, c0, c1 int) float64 {
+	region, _, _ := Region(plane, rows, cols, r0, r1, c0, c1)
+	return entropy.Shannon(region)
+}
+
+// RenderPGM renders an index plane as an 8-bit PGM image, mapping values
+// in [lo, hi] linearly to [0, 255] (values outside clamp). The paper's
+// Figures 3 and 5 use [-8, 8] and [-4, 4].
+func RenderPGM(plane []int32, rows, cols int, lo, hi int32) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P5\n%d %d\n255\n", cols, rows)
+	out := []byte(b.String())
+	span := float64(hi - lo)
+	if span <= 0 {
+		span = 1
+	}
+	for _, v := range plane {
+		c := (float64(clamp32(v, lo, hi)-lo) / span) * 255
+		out = append(out, byte(c))
+	}
+	return out
+}
+
+// RenderASCII renders an index plane as text, one glyph per sample, for
+// terminal inspection of the clustering effect.
+func RenderASCII(plane []int32, rows, cols int, lo, hi int32) string {
+	glyphs := []byte(" .:-=+*#%@")
+	span := float64(hi - lo)
+	if span <= 0 {
+		span = 1
+	}
+	var b strings.Builder
+	b.Grow(rows * (cols + 1))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := clamp32(plane[r*cols+c], lo, hi)
+			g := int(float64(v-lo) / span * float64(len(glyphs)-1))
+			b.WriteByte(glyphs[g])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp32(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

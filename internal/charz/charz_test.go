@@ -1,0 +1,136 @@
+package charz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCentered(t *testing.T) {
+	q := []int32{0, 100, 95, 105}
+	c := Centered(q, 100)
+	want := []int32{0, 0, -5, 5}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("centered[%d] = %d, want %d", i, c[i], want[i])
+		}
+	}
+}
+
+func seqCube(nx, ny, nz int) []int32 {
+	q := make([]int32, nx*ny*nz)
+	for i := range q {
+		q[i] = int32(i)
+	}
+	return q
+}
+
+func TestSlice(t *testing.T) {
+	dims := []int{3, 4, 5}
+	q := seqCube(3, 4, 5)
+	// Axis 0: plane (y,z) at x=1.
+	p, rows, cols, err := Slice(q, dims, 0, 1)
+	if err != nil || rows != 4 || cols != 5 {
+		t.Fatalf("slice: %v %d %d", err, rows, cols)
+	}
+	if p[0] != 20 || p[19] != 39 {
+		t.Fatalf("slice content: %d %d", p[0], p[19])
+	}
+	// Axis 2: plane (x,y) at z=3.
+	p, rows, cols, err = Slice(q, dims, 2, 3)
+	if err != nil || rows != 3 || cols != 4 {
+		t.Fatalf("slice: %v %d %d", err, rows, cols)
+	}
+	if p[0] != 3 || p[1] != 8 {
+		t.Fatalf("slice content: %d %d", p[0], p[1])
+	}
+	if _, _, _, err := Slice(q, dims, 3, 0); err == nil {
+		t.Error("bad axis accepted")
+	}
+	if _, _, _, err := Slice(q, []int{3, 4}, 0, 0); err == nil {
+		t.Error("2D dims accepted")
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	plane := []int32{
+		0, 1, 2, 3,
+		4, 5, 6, 7,
+		8, 9, 10, 11,
+	}
+	sub, nr, nc, err := Subsample(plane, 3, 4, 2, 2)
+	if err != nil || nr != 2 || nc != 2 {
+		t.Fatalf("subsample: %v %d %d", err, nr, nc)
+	}
+	if sub[0] != 0 || sub[1] != 2 || sub[2] != 8 || sub[3] != 10 {
+		t.Fatalf("subsample content: %v", sub)
+	}
+	if _, _, _, err := Subsample(plane, 3, 4, 0, 1); err == nil {
+		t.Error("zero stride accepted")
+	}
+}
+
+func TestRegionAndEntropy(t *testing.T) {
+	plane := make([]int32, 100)
+	for i := 50; i < 100; i++ {
+		plane[i] = int32(i)
+	}
+	r, rows, cols := Region(plane, 10, 10, 0, 5, 0, 10)
+	if rows != 5 || cols != 10 || len(r) != 50 {
+		t.Fatalf("region: %d %d %d", rows, cols, len(r))
+	}
+	if e := RegionalEntropy(plane, 10, 10, 0, 5, 0, 10); e != 0 {
+		t.Fatalf("uniform region entropy = %g", e)
+	}
+	if e := RegionalEntropy(plane, 10, 10, 5, 10, 0, 10); e <= 0 {
+		t.Fatalf("mixed region entropy = %g", e)
+	}
+	if r, _, _ := Region(plane, 10, 10, 8, 3, 0, 10); r != nil {
+		t.Error("inverted region returned data")
+	}
+}
+
+func TestSliceEntropies(t *testing.T) {
+	dims := []int{4, 8, 8}
+	q := make([]int32, 4*8*8)
+	// Slice 2 along axis 0 is noisy, others constant.
+	for i := 2 * 64; i < 3*64; i++ {
+		q[i] = int32(i % 7)
+	}
+	es, err := SliceEntropies(q, dims, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 4 {
+		t.Fatalf("len = %d", len(es))
+	}
+	if es[0] != 0 || es[2] <= 0 {
+		t.Fatalf("entropies = %v", es)
+	}
+	if _, err := SliceEntropies(q, []int{4, 8}, 0, 1); err == nil {
+		t.Error("2D accepted")
+	}
+}
+
+func TestRenderPGM(t *testing.T) {
+	plane := []int32{-8, 0, 8, 100}
+	img := RenderPGM(plane, 2, 2, -8, 8)
+	if !strings.HasPrefix(string(img), "P5\n2 2\n255\n") {
+		t.Fatalf("bad header: %q", img[:12])
+	}
+	px := img[len(img)-4:]
+	if px[0] != 0 || px[1] != 127 || px[2] != 255 || px[3] != 255 {
+		t.Fatalf("pixels = %v", px)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	plane := []int32{-4, 4, 0, 0}
+	s := RenderASCII(plane, 2, 2, -4, 4)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 2 {
+		t.Fatalf("ascii shape: %q", s)
+	}
+	if lines[0][0] != ' ' || lines[0][1] != '@' {
+		t.Fatalf("ascii glyphs: %q", s)
+	}
+}

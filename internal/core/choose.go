@@ -1,0 +1,25 @@
+package core
+
+import "scdc/internal/huffman"
+
+// ChooseEncoding picks between the original index array q and its
+// QP-transformed counterpart qp by estimated entropy-coded size, then
+// encodes only the winner. This is the "adaptive" guard that makes QP a
+// strict no-regression option: on data where the prediction does not pay
+// (e.g. HPEZ has already absorbed the cross-direction correlation,
+// Section VI-B), the compressor falls back to the base stream and records
+// QP as disabled. It returns the Huffman stream and whether the QP
+// variant was kept.
+//
+// The size estimate (Shannon entropy plus table overhead) is a histogram
+// pass per candidate — far cheaper than encoding both — and is accurate
+// to within a fraction of a percent for these skewed index distributions.
+func ChooseEncoding(q, qp []int32) (huff []byte, useQP bool) {
+	if qp == nil {
+		return huffman.Encode(q), false
+	}
+	if huffman.EstimateBytes(qp) < huffman.EstimateBytes(q) {
+		return huffman.Encode(qp), true
+	}
+	return huffman.Encode(q), false
+}

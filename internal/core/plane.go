@@ -1,0 +1,68 @@
+package core
+
+// Plane describes a 2D sub-lattice of the quantization index array: the
+// set of points origin + r*RowStride + c*ColStride for r in [0,Rows) and
+// c in [0,Cols). This is the geometry QP operates on: each interpolation
+// pass updates such a lattice in the plane orthogonal to the interpolation
+// direction, with the strides the paper visualizes in Figures 3 and 5
+// (2x2, 1x2, 1x1 relative to the level's base stride).
+type Plane struct {
+	Origin    int
+	RowStride int
+	ColStride int
+	Rows      int
+	Cols      int
+	Level     int
+}
+
+// Transform applies QP over the plane, writing transformed symbols Q' into
+// dst at the same positions, reading original symbols from q. dst and q
+// must be distinct arrays of identical length. Positions outside the plane
+// are left untouched in dst.
+//
+// Transform exists mainly for tests and offline characterization; the
+// compressors integrate QP point-by-point via Compensate so that the
+// prediction happens level-wise inside the compression loop (Algorithm 1
+// keeps it in-loop for cache reuse).
+func (p *Predictor) Transform(dst, q []int32, pl Plane) {
+	for r := 0; r < pl.Rows; r++ {
+		for c := 0; c < pl.Cols; c++ {
+			i := pl.Origin + r*pl.RowStride + c*pl.ColStride
+			nb := planeNeighborhood(pl, r, c)
+			dst[i] = q[i] - p.Compensate(q, nb)
+		}
+	}
+}
+
+// Invert reverses Transform in place: q initially holds transformed
+// symbols Q' at the plane's positions and is progressively overwritten
+// with the recovered original symbols Q, in the same row-major order the
+// decompressor uses.
+func (p *Predictor) Invert(q []int32, pl Plane) {
+	for r := 0; r < pl.Rows; r++ {
+		for c := 0; c < pl.Cols; c++ {
+			i := pl.Origin + r*pl.RowStride + c*pl.ColStride
+			nb := planeNeighborhood(pl, r, c)
+			q[i] += p.Compensate(q, nb)
+		}
+	}
+}
+
+func planeNeighborhood(pl Plane, r, c int) Neighborhood {
+	nb := Neighborhood{
+		Level: pl.Level,
+		Left:  -1, Top: -1, TopLeft: -1,
+		Back: -1, BackLeft: -1, BackTop: -1, BackTopLeft: -1,
+	}
+	base := pl.Origin + r*pl.RowStride + c*pl.ColStride
+	if c > 0 {
+		nb.Left = base - pl.ColStride
+	}
+	if r > 0 {
+		nb.Top = base - pl.RowStride
+	}
+	if r > 0 && c > 0 {
+		nb.TopLeft = base - pl.RowStride - pl.ColStride
+	}
+	return nb
+}

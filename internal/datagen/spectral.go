@@ -1,0 +1,120 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"scdc/internal/grid"
+)
+
+// mode is one Fourier mode: integer frequencies per axis (cycles across
+// the domain), an amplitude and a phase.
+type mode struct {
+	fx, fy, fz int
+	amp, phase float64
+}
+
+// spectrum draws nmodes random-phase modes with isotropic wavenumbers
+// log-uniform in [kmin, kmax] and amplitude ~ k^(-alpha) — a power-law
+// (Kolmogorov-like for alpha=5/3+1) spectrum, the generic model for
+// smooth correlated scientific fields.
+func spectrum(rng *rand.Rand, nmodes int, alpha, kmin, kmax float64) []mode {
+	modes := make([]mode, 0, nmodes)
+	for len(modes) < nmodes {
+		k := kmin * math.Pow(kmax/kmin, rng.Float64())
+		// Random direction on the sphere.
+		theta := math.Acos(2*rng.Float64() - 1)
+		phi := 2 * math.Pi * rng.Float64()
+		fx := int(math.Round(k * math.Sin(theta) * math.Cos(phi)))
+		fy := int(math.Round(k * math.Sin(theta) * math.Sin(phi)))
+		fz := int(math.Round(k * math.Cos(theta)))
+		if fx == 0 && fy == 0 && fz == 0 {
+			continue
+		}
+		modes = append(modes, mode{
+			fx: fx, fy: fy, fz: fz,
+			amp:   math.Pow(k, -alpha),
+			phase: 2 * math.Pi * rng.Float64(),
+		})
+	}
+	return modes
+}
+
+// dims3of returns the field's extents as a 3D shape (leading 1s for lower
+// dimensionality).
+func dims3of(f *grid.Field) (nx, ny, nz int) {
+	d := f.Dims()
+	switch len(d) {
+	case 1:
+		return 1, 1, d[0]
+	case 2:
+		return 1, d[0], d[1]
+	default:
+		return d[0], d[1], d[2]
+	}
+}
+
+// addSpectral accumulates scale * the mode sum into the field, evaluated
+// with per-axis complex exponential tables (O(n*modes) multiplies, no
+// trigonometry in the inner loop).
+func addSpectral(f *grid.Field, modes []mode, scale float64) {
+	nx, ny, nz := dims3of(f)
+	data := f.Data
+
+	// Per-axis tables for all modes.
+	tabX := make([][]cplx, len(modes))
+	tabY := make([][]cplx, len(modes))
+	tabZ := make([][]cplx, len(modes))
+	for m, md := range modes {
+		tabX[m] = axisTable(md.fx, nx)
+		tabY[m] = axisTable(md.fy, ny)
+		tabZ[m] = axisTable(md.fz, nz)
+	}
+
+	for m, md := range modes {
+		a := md.amp * scale
+		pr, pi := math.Cos(md.phase), math.Sin(md.phase)
+		tx, ty, tz := tabX[m], tabY[m], tabZ[m]
+		idx := 0
+		for x := 0; x < nx; x++ {
+			xr := tx[x].re*pr - tx[x].im*pi
+			xi := tx[x].re*pi + tx[x].im*pr
+			for y := 0; y < ny; y++ {
+				yr := xr*ty[y].re - xi*ty[y].im
+				yi := xr*ty[y].im + xi*ty[y].re
+				for z := 0; z < nz; z++ {
+					data[idx] += a * (yr*tz[z].re - yi*tz[z].im)
+					idx++
+				}
+			}
+		}
+	}
+}
+
+// cplx is a plain complex pair (avoids complex128 boxing in hot loops).
+type cplx struct{ re, im float64 }
+
+func axisTable(freq, n int) []cplx {
+	t := make([]cplx, n)
+	for i := 0; i < n; i++ {
+		ang := 2 * math.Pi * float64(freq) * float64(i) / float64(n)
+		t[i].re, t[i].im = math.Cos(ang), math.Sin(ang)
+	}
+	return t
+}
+
+// forEach3 visits every point with normalized coordinates u,v,w in [0,1).
+func forEach3(f *grid.Field, fn func(idx int, u, v, w float64)) {
+	nx, ny, nz := dims3of(f)
+	idx := 0
+	for x := 0; x < nx; x++ {
+		u := float64(x) / float64(nx)
+		for y := 0; y < ny; y++ {
+			v := float64(y) / float64(ny)
+			for z := 0; z < nz; z++ {
+				fn(idx, u, v, float64(z)/float64(nz))
+				idx++
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestShannonKnownValues(t *testing.T) {
+	if e := Shannon(nil); e != 0 {
+		t.Fatalf("empty entropy = %g", e)
+	}
+	if e := Shannon([]int32{5, 5, 5, 5}); e != 0 {
+		t.Fatalf("constant entropy = %g", e)
+	}
+	if e := Shannon([]int32{0, 1, 0, 1}); !almost(e, 1) {
+		t.Fatalf("binary entropy = %g", e)
+	}
+	if e := Shannon([]int32{0, 1, 2, 3}); !almost(e, 2) {
+		t.Fatalf("4-ary entropy = %g", e)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int32{1, 1, 2, -3})
+	if h[1] != 2 || h[2] != 1 || h[-3] != 1 || len(h) != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestRegional(t *testing.T) {
+	// 4x4 array: top half zeros, bottom half ramp.
+	q := []int32{
+		0, 0, 0, 0,
+		0, 0, 0, 0,
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+	}
+	if e := Regional(q, 4, 0, 2, 0, 4); e != 0 {
+		t.Fatalf("uniform region entropy = %g", e)
+	}
+	if e := Regional(q, 4, 2, 4, 0, 4); !almost(e, 3) {
+		t.Fatalf("distinct region entropy = %g", e)
+	}
+	// Clipping.
+	if e := Regional(q, 4, -5, 100, -5, 100); e <= 0 {
+		t.Fatalf("clipped region entropy = %g", e)
+	}
+	// Degenerate.
+	if e := Regional(q, 4, 3, 3, 0, 4); e != 0 {
+		t.Fatalf("empty region entropy = %g", e)
+	}
+}
+
+func TestStrided(t *testing.T) {
+	q := []int32{7, 1, 7, 2, 7, 3, 7, 4}
+	if e := Strided(q, 2); e != 0 {
+		t.Fatalf("strided constant entropy = %g", e)
+	}
+	if e := Strided(q, 0); e != 0 {
+		t.Fatalf("zero stride entropy = %g", e)
+	}
+	if e := Strided(q, 1); e <= 0 {
+		t.Fatalf("full entropy = %g", e)
+	}
+}
+
+// TestQuickBounds property: 0 <= H(Q) <= log2(#distinct).
+func TestQuickBounds(t *testing.T) {
+	f := func(q []int32) bool {
+		e := Shannon(q)
+		if e < 0 {
+			return false
+		}
+		h := Histogram(q)
+		if len(h) == 0 {
+			return e == 0
+		}
+		return e <= math.Log2(float64(len(h)))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPermutationInvariant property: entropy ignores order.
+func TestQuickPermutationInvariant(t *testing.T) {
+	f := func(q []int32) bool {
+		rev := make([]int32, len(q))
+		for i, v := range q {
+			rev[len(q)-1-i] = v
+		}
+		return almost(Shannon(q), Shannon(rev))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package hpez
+
+import (
+	"fmt"
+
+	"scdc/internal/core"
+	"scdc/internal/grid"
+	"scdc/internal/interp"
+	"scdc/internal/lattice"
+	"scdc/internal/quantizer"
+)
+
+func anchorStride(levels int) int { return 1 << levels }
+
+func forEachAnchor(dims []int, levels int, fn func(idx int)) {
+	a := anchorStride(levels)
+	strides := grid.Strides(dims)
+	var walk func(axis, base int)
+	walk = func(axis, base int) {
+		if axis == len(dims) {
+			fn(base)
+			return
+		}
+		for c := 0; c < dims[axis]; c += a {
+			walk(axis+1, base+c*strides[axis])
+		}
+	}
+	walk(0, 0)
+}
+
+// predict computes the multi-dimensional interpolation prediction for a
+// point: the weighted average of 1D spline stencils along each non-frozen
+// odd axis, with HPEZ's tuned per-level axis weights (a frozen axis is a
+// zero weight).
+func predict(data []float64, dims, strides []int, pl *plan, pt *lattice.Point) float64 {
+	nd := len(dims)
+	kind := interp.Cubic
+	frozen := pl.frozen[pt.Level-1]
+	weights := pl.weights[pt.Level-1]
+	if pt.Level <= 2 {
+		bi := pl.blockIndex(pt.Coord, nd)
+		if !pl.blockIsCubic(bi) {
+			kind = interp.Linear
+		}
+		// Block-wise tuned weights take over at the fine levels; the
+		// global freeze mask no longer applies (a locally bad axis simply
+		// gets a near-zero local weight).
+		weights = pl.blockWeights[bi]
+		frozen = 0
+	}
+
+	sum, wsum := 0.0, 0.0
+	eval := func(d int, w float64) {
+		base := pt.Idx - pt.Coord[d]*strides[d]
+		strd := strides[d]
+		p := interp.Line(func(pos int) float64 {
+			return data[base+pos*strd]
+		}, dims[d], pt.Coord[d], pt.S, kind)
+		sum += w * p
+		wsum += w
+	}
+	for d := 0; d < nd; d++ {
+		if pt.Mask&(1<<uint(d)) == 0 || frozen&(1<<uint(d)) != 0 {
+			continue
+		}
+		w := float64(weights[d])
+		if w == 0 {
+			continue
+		}
+		eval(d, w)
+	}
+	if wsum == 0 {
+		// Every odd axis frozen or zero-weighted: fall back to an
+		// unweighted average over all odd axes.
+		for d := 0; d < nd; d++ {
+			if pt.Mask&(1<<uint(d)) != 0 {
+				eval(d, 1)
+			}
+		}
+	}
+	return sum / wsum
+}
+
+// compressCore runs the HPEZ pipeline with a resolved plan; data is
+// overwritten with decompressed values.
+func compressCore(data []float64, dims []int, pl plan, q, qp []int32, pred *core.Predictor) (anchors, literals []float64) {
+	strides := grid.Strides(dims)
+	quants := make([]quantizer.Linear, pl.levels+1)
+	for l := 1; l <= pl.levels; l++ {
+		quants[l] = quantizer.Linear{EB: pl.ebs[l-1], Radius: pl.radius}
+	}
+
+	center := pl.radius
+	forEachAnchor(dims, pl.levels, func(idx int) {
+		anchors = append(anchors, data[idx])
+		q[idx] = center
+		if qp != nil {
+			qp[idx] = center
+		}
+	})
+
+	for level := pl.levels; level >= 1; level-- {
+		lattice.WalkClasses(dims, strides, level, func(pt *lattice.Point) {
+			p := predict(data, dims, strides, &pl, pt)
+			quant := quants[pt.Level]
+			sym, dec, ok := quant.Quantize(data[pt.Idx], p)
+			q[pt.Idx] = sym
+			if !ok {
+				literals = append(literals, data[pt.Idx])
+			}
+			data[pt.Idx] = dec
+			if qp != nil {
+				qp[pt.Idx] = q[pt.Idx] - pred.Compensate(q, pt.NB)
+			}
+		})
+	}
+	return anchors, literals
+}
+
+// decompressCore reverses compressCore.
+func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, literals []float64, pred *core.Predictor) error {
+	strides := grid.Strides(dims)
+	quants := make([]quantizer.Linear, pl.levels+1)
+	for l := 1; l <= pl.levels; l++ {
+		quants[l] = quantizer.Linear{EB: pl.ebs[l-1], Radius: pl.radius}
+	}
+
+	ai := 0
+	center := pl.radius
+	var decErr error
+	forEachAnchor(dims, pl.levels, func(idx int) {
+		if decErr != nil {
+			return
+		}
+		if ai >= len(anchors) {
+			decErr = fmt.Errorf("%w: anchor stream exhausted", ErrCorrupt)
+			return
+		}
+		data[idx] = anchors[ai]
+		enc[idx] = center
+		ai++
+	})
+	if decErr != nil {
+		return decErr
+	}
+	if ai != len(anchors) {
+		return fmt.Errorf("%w: %d unused anchors", ErrCorrupt, len(anchors)-ai)
+	}
+
+	lit := 0
+	for level := pl.levels; level >= 1; level-- {
+		lattice.WalkClasses(dims, strides, level, func(pt *lattice.Point) {
+			if decErr != nil {
+				return
+			}
+			p := predict(data, dims, strides, &pl, pt)
+			var c int32
+			if pred != nil {
+				c = pred.Compensate(enc, pt.NB)
+			}
+			sym := enc[pt.Idx] + c
+			enc[pt.Idx] = sym
+			if sym == quantizer.Unpredictable {
+				if lit >= len(literals) {
+					decErr = fmt.Errorf("%w: literal stream exhausted", ErrCorrupt)
+					return
+				}
+				data[pt.Idx] = literals[lit]
+				lit++
+				return
+			}
+			data[pt.Idx] = quants[pt.Level].Recover(p, sym)
+		})
+	}
+	if decErr != nil {
+		return decErr
+	}
+	if lit != len(literals) {
+		return fmt.Errorf("%w: %d unused literals", ErrCorrupt, len(literals)-lit)
+	}
+	return nil
+}

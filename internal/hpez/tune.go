@@ -1,0 +1,462 @@
+package hpez
+
+import (
+	"math"
+	"sort"
+
+	"scdc/internal/grid"
+	"scdc/internal/huffman"
+	"scdc/internal/interp"
+	"scdc/internal/sz3"
+)
+
+// ebCandidates are the (alpha, beta) pairs tried for level-wise error
+// bound scaling, as in QoZ.
+var ebCandidates = [][2]float64{{1, 1}, {1.25, 2}, {1.5, 2}, {2, 3}}
+
+// buildPlan resolves the compression plan: dimension freezing per level,
+// block-wise spline kinds, and level-wise error bounds.
+func buildPlan(f *grid.Field, opts Options) plan {
+	dims := f.Dims()
+	levels := sz3.Levels(dims)
+	if levels > maxAnchorLevels {
+		levels = maxAnchorLevels
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	g := blockGridDims(dims)
+	pl := plan{
+		levels:     levels,
+		ebs:        make([]float64, levels),
+		frozen:     make([]uint8, levels),
+		weights:    make([][4]uint8, levels),
+		radius:     opts.Radius,
+		qp:         opts.QP,
+		blockGrid:  g,
+		blockCubic: make([]byte, (numBlocks(g)+7)/8),
+	}
+	for i := range pl.blockCubic {
+		pl.blockCubic[i] = 0xff // default cubic everywhere
+	}
+	pl.blockWeights = make([][4]uint8, numBlocks(g))
+	for i := range pl.blockWeights {
+		pl.blockWeights[i] = [4]uint8{255, 255, 255, 255}
+	}
+	for l := 0; l < levels; l++ {
+		pl.ebs[l] = opts.ErrorBound
+		pl.weights[l] = [4]uint8{255, 255, 255, 255}
+	}
+	if !opts.Tune {
+		return pl
+	}
+
+	for l := 1; l <= levels; l++ {
+		pl.frozen[l-1], pl.weights[l-1] = tuneAxes(f, l, opts.ErrorBound)
+	}
+	tuneBlocks(f, &pl, bestAxis(pl.weights[0], len(dims)), opts.ErrorBound)
+	tuneBlockWeights(f, &pl, opts.ErrorBound)
+
+	alpha, beta := tuneEB(f, pl, opts)
+	for l := 1; l <= levels; l++ {
+		eb := opts.ErrorBound / math.Pow(alpha, float64(l-1))
+		if floor := opts.ErrorBound / beta; eb < floor {
+			eb = floor
+		}
+		pl.ebs[l-1] = eb
+	}
+	return pl
+}
+
+// tuneAxes measures, per axis, the 1D interpolation residual at the
+// level's stride on sampled lines, then derives HPEZ's auto-tuned
+// multi-component weights (weight ~ 1/residual^2, so stencils along more
+// predictable axes dominate the average) and its dynamic dimension
+// freezing mask (an axis far worse than the best is dropped entirely).
+// The per-axis statistic is a trimmed mean — the top decile of |residual|
+// is discarded — so a localized discontinuity does not condemn a globally
+// good axis. An axis is never frozen when it is the only usable one.
+func tuneAxes(f *grid.Field, level int, eb float64) (uint8, [4]uint8) {
+	dims := f.Dims()
+	strides := grid.Strides(dims)
+	nd := len(dims)
+	s := 1 << (level - 1)
+	weights := [4]uint8{255, 255, 255, 255}
+
+	resid := make([]float64, nd)
+	usable := 0
+	for d := 0; d < nd; d++ {
+		if dims[d] <= 2*s {
+			resid[d] = math.Inf(1)
+			continue
+		}
+		usable++
+		samples := make([]float64, 0, 4096)
+		// Sample lines along axis d from a decimated set of bases.
+		nlines := f.Len() / dims[d]
+		lstep := (nlines/32 + 1) | 1
+		for line := 0; line < nlines && len(samples) < 4096; line += lstep {
+			base := lineBase(dims, strides, d, line)
+			for t := s; t < dims[d] && len(samples) < 4096; t += 2 * s {
+				p := interp.Line(func(pos int) float64 {
+					return f.Data[base+pos*strides[d]]
+				}, dims[d], t, s, interp.Cubic)
+				samples = append(samples, math.Abs(f.Data[base+t*strides[d]]-p))
+			}
+		}
+		if len(samples) == 0 {
+			resid[d] = math.Inf(1)
+			continue
+		}
+		resid[d] = trimmedMean(samples, 0.10)
+	}
+	if usable <= 1 {
+		return 0, weights
+	}
+	best := math.Inf(1)
+	for d := 0; d < nd; d++ {
+		if resid[d] < best {
+			best = resid[d]
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, weights
+	}
+	// Weight ~ 1/(resid^2 + noise floor); the floor (half a quantum) stops
+	// sub-bound accuracy differences from skewing the weights.
+	floor := eb * eb / 4
+	wbest := 1.0 / (best*best + floor)
+	var mask uint8
+	for d := 0; d < nd; d++ {
+		if math.IsInf(resid[d], 1) {
+			weights[d] = 0
+			continue
+		}
+		w := (1.0 / (resid[d]*resid[d] + floor)) / wbest // in (0, 1]
+		weights[d] = uint8(math.Max(1, math.Round(255*w)))
+		if resid[d] > freezeFactor*best && resid[d] > eb {
+			mask |= 1 << uint(d)
+		}
+	}
+	return mask, weights
+}
+
+// trimmedMean returns the mean of samples after discarding the top trim
+// fraction of values (samples is reordered in place).
+func trimmedMean(samples []float64, trim float64) float64 {
+	keep := len(samples) - int(float64(len(samples))*trim)
+	if keep < 1 {
+		keep = 1
+	}
+	// Partial selection: simple sort is fine at <=4096 samples.
+	sortFloats(samples)
+	sum := 0.0
+	for _, v := range samples[:keep] {
+		sum += v
+	}
+	return sum / float64(keep)
+}
+
+func sortFloats(s []float64) {
+	// Insertion sort beats sort.Float64s allocation profile at these
+	// sizes only for tiny slices; use the stdlib for clarity.
+	sort.Float64s(s)
+}
+
+// lineBase returns the flat index of the start of the line-th line running
+// along axis d (lines enumerated over the remaining axes in row-major
+// order).
+func lineBase(dims, strides []int, d, line int) int {
+	base := 0
+	for a := len(dims) - 1; a >= 0; a-- {
+		if a == d {
+			continue
+		}
+		base += (line % dims[a]) * strides[a]
+		line /= dims[a]
+	}
+	return base
+}
+
+// bestAxis returns the axis with the largest tuned weight — the one whose
+// stencils dominate the prediction and whose kernel choice therefore
+// matters most.
+func bestAxis(w [4]uint8, nd int) int {
+	ax := nd - 1
+	for d := 0; d < nd; d++ {
+		if w[d] > w[ax] {
+			ax = d
+		}
+	}
+	return ax
+}
+
+// tuneBlocks picks linear vs cubic per block by comparing sampled stride-2
+// residuals along the given axis (the globally dominant one) inside each
+// block.
+func tuneBlocks(f *grid.Field, pl *plan, ax int, eb float64) {
+	dims := f.Dims()
+	strides := grid.Strides(dims)
+	nd := len(dims)
+	if dims[ax] < 8 {
+		return // too thin to measure; keep cubic
+	}
+	g := pl.blockGrid
+
+	var walkBlocks func(axis, bidx int, origin []int)
+	origin := make([]int, nd)
+	walkBlocks = func(axis, bidx int, origin []int) {
+		if axis == nd {
+			cub, lin, _ := blockResiduals(f, dims, strides, origin, ax, eb)
+			if lin < cub {
+				pl.blockCubic[bidx/8] &^= 1 << uint(bidx%8)
+			}
+			return
+		}
+		for b := 0; b < g[axis]; b++ {
+			origin[axis] = b * blockSize
+			walkBlocks(axis+1, bidx*g[axis]+b, origin)
+		}
+	}
+	walkBlocks(0, 0, origin)
+}
+
+// blockResiduals samples cubic and linear stride-2 residuals along axis
+// ax on a few lines through the block at origin.
+func blockResiduals(f *grid.Field, dims, strides []int, origin []int, ax int, eb float64) (cubic, linear float64, sampled int) {
+	nd := len(dims)
+	n := dims[ax]
+	vary := ax - 1
+	if vary < 0 {
+		vary = nd - 1
+		if vary == ax {
+			vary = -1
+		}
+	}
+
+	nlines := 1
+	if vary >= 0 {
+		nlines = 4
+	}
+	for li := 0; li < nlines; li++ {
+		// Flat index of the line's position 0 along ax.
+		base := 0
+		for d := 0; d < nd; d++ {
+			if d == ax {
+				continue
+			}
+			c := origin[d]
+			if d == vary {
+				c += li * (blockSize / 4)
+			}
+			if c >= dims[d] {
+				c = dims[d] - 1
+			}
+			base += c * strides[d]
+		}
+		at := func(pos int) float64 { return f.Data[base+pos*strides[ax]] }
+		hi := origin[ax] + blockSize
+		if hi > n {
+			hi = n
+		}
+		// Odd multiples of s=2 (t = 2, 6, 10, ... within the block). The
+		// score is the entropy-cost model with each kernel's quantization
+		// noise floor (the cubic stencil amplifies decompressed-neighbor
+		// noise ~1.29x vs linear's 1.0x), matching the predictor selection
+		// model used elsewhere.
+		for t := origin[ax] + 2; t < hi; t += 4 {
+			pc := interp.Line(at, n, t, 2, interp.Cubic)
+			pl := interp.Line(at, n, t, 2, interp.Linear)
+			v := at(t)
+			cubic += math.Log2(1 + (math.Abs(v-pc)+0.645*eb)/(2*eb))
+			linear += math.Log2(1 + (math.Abs(v-pl)+0.5*eb)/(2*eb))
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		return 0, 1, 0 // keep cubic
+	}
+	return cubic, linear, sampled
+}
+
+// tuneBlockWeights derives per-block per-axis weights from sampled
+// stride-2 residuals inside each block — HPEZ's block-wise interpolation
+// tuning. Blocks that a sharp feature crosses along one axis down-weight
+// that axis locally without penalizing it everywhere else.
+func tuneBlockWeights(f *grid.Field, pl *plan, eb float64) {
+	dims := f.Dims()
+	strides := grid.Strides(dims)
+	nd := len(dims)
+	g := pl.blockGrid
+
+	floor := eb * eb / 4
+	origin := make([]int, nd)
+	var walkBlocks func(axis, bidx int)
+	walkBlocks = func(axis, bidx int) {
+		if axis == nd {
+			var resid [4]float64
+			usable := 0
+			for d := 0; d < nd; d++ {
+				resid[d] = blockAxisResidual(f, dims, strides, origin, d)
+				if !math.IsInf(resid[d], 1) {
+					usable++
+				}
+			}
+			if usable <= 1 {
+				return // keep uniform weights
+			}
+			best := math.Inf(1)
+			for d := 0; d < nd; d++ {
+				if resid[d] < best {
+					best = resid[d]
+				}
+			}
+			if math.IsInf(best, 1) {
+				return
+			}
+			wbest := 1.0 / (best*best + floor)
+			var w [4]uint8
+			for d := 0; d < 4; d++ {
+				if d >= nd || math.IsInf(resid[d], 1) {
+					w[d] = 0
+					continue
+				}
+				r := (1.0 / (resid[d]*resid[d] + floor)) / wbest
+				w[d] = uint8(math.Round(255 * r))
+				// Snap marginal contributors to zero: on an axis whose
+				// residual dwarfs the best axis (a sharp feature crossing
+				// the block), even a sub-percent weight injects
+				// many-quanta errors into otherwise clean predictions.
+				if w[d] < 16 {
+					w[d] = 0
+				}
+			}
+			if w[0] == 0 && w[1] == 0 && w[2] == 0 && w[3] == 0 {
+				return // degenerate: keep the uniform default
+			}
+			pl.blockWeights[bidx] = w
+			return
+		}
+		for b := 0; b < g[axis]; b++ {
+			origin[axis] = b * blockSize
+			walkBlocks(axis+1, bidx*g[axis]+b)
+		}
+	}
+	walkBlocks(0, 0)
+}
+
+// blockAxisResidual samples |cubic stride-2 residual| along one axis on a
+// few lines through the block, returning the trimmed mean (or +Inf when
+// the axis has no room in this block).
+func blockAxisResidual(f *grid.Field, dims, strides []int, origin []int, ax int) float64 {
+	n := dims[ax]
+	if origin[ax]+4 >= n {
+		return math.Inf(1)
+	}
+	nd := len(dims)
+	samples := make([]float64, 0, 64)
+	for li := 0; li < 4; li++ {
+		base := 0
+		for d := 0; d < nd; d++ {
+			if d == ax {
+				continue
+			}
+			c := origin[d] + li*(blockSize/4)
+			if c >= dims[d] {
+				c = dims[d] - 1
+			}
+			base += c * strides[d]
+		}
+		at := func(pos int) float64 { return f.Data[base+pos*strides[ax]] }
+		hi := origin[ax] + blockSize
+		if hi > n {
+			hi = n
+		}
+		for t := origin[ax] + 2; t < hi; t += 4 {
+			p := interp.Line(at, n, t, 2, interp.Cubic)
+			samples = append(samples, math.Abs(at(t)-p))
+		}
+	}
+	if len(samples) == 0 {
+		return math.Inf(1)
+	}
+	return trimmedMean(samples, 0.10)
+}
+
+// tuneEB trial-compresses a centered crop under each (alpha, beta)
+// candidate and keeps the cheapest, as in QoZ.
+func tuneEB(f *grid.Field, pl plan, opts Options) (alpha, beta float64) {
+	crop := centerCrop(f, 32)
+	cropLevels := sz3.Levels(crop.Dims())
+	if cropLevels < 1 {
+		cropLevels = 1
+	}
+	if cropLevels > pl.levels {
+		cropLevels = pl.levels
+	}
+	bestBits := int(math.MaxInt32)
+	best := ebCandidates[0]
+	for _, cand := range ebCandidates {
+		trial := pl
+		trial.levels = cropLevels
+		trial.ebs = make([]float64, cropLevels)
+		trial.frozen = pl.frozen[:cropLevels]
+		trial.weights = pl.weights[:cropLevels]
+		g := blockGridDims(crop.Dims())
+		trial.blockGrid = g
+		trial.blockCubic = make([]byte, (numBlocks(g)+7)/8)
+		for i := range trial.blockCubic {
+			trial.blockCubic[i] = 0xff
+		}
+		trial.blockWeights = make([][4]uint8, numBlocks(g))
+		for i := range trial.blockWeights {
+			trial.blockWeights[i] = [4]uint8{255, 255, 255, 255}
+		}
+		for l := 1; l <= cropLevels; l++ {
+			eb := opts.ErrorBound / math.Pow(cand[0], float64(l-1))
+			if floor := opts.ErrorBound / cand[1]; eb < floor {
+				eb = floor
+			}
+			trial.ebs[l-1] = eb
+		}
+		data := append([]float64(nil), crop.Data...)
+		q := make([]int32, len(data))
+		_, literals := compressCore(data, crop.Dims(), trial, q, nil, nil)
+		bits := len(huffman.Encode(q)) + 8*len(literals)
+		if bits < bestBits {
+			bestBits = bits
+			best = cand
+		}
+	}
+	return best[0], best[1]
+}
+
+// centerCrop extracts a centered sub-field with extents capped at m.
+func centerCrop(f *grid.Field, m int) *grid.Field {
+	dims := f.Dims()
+	nd := len(dims)
+	ext := make([]int, nd)
+	off := make([]int, nd)
+	for d, n := range dims {
+		ext[d] = n
+		if ext[d] > m {
+			ext[d] = m
+		}
+		off[d] = (n - ext[d]) / 2
+	}
+	out := grid.MustNew(ext...)
+	strides := grid.Strides(dims)
+	ostr := grid.Strides(ext)
+	var walk func(axis, src, dst int)
+	walk = func(axis, src, dst int) {
+		if axis == nd {
+			out.Data[dst] = f.Data[src]
+			return
+		}
+		for c := 0; c < ext[axis]; c++ {
+			walk(axis+1, src+(off[axis]+c)*strides[axis], dst+c*ostr[axis])
+		}
+	}
+	walk(0, 0, 0)
+	return out
+}

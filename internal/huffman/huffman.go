@@ -1,0 +1,348 @@
+// Package huffman implements a canonical Huffman coder over int32 symbol
+// streams. It is the entropy-encoder stage of every prediction-based
+// compressor in this repository, mirroring the Huffman stage of SZ3, QoZ,
+// HPEZ and MGARD (paper Section II).
+//
+// The encoded form is self-describing: a varint-coded canonical code table
+// followed by the bit stream. Decoding is table-driven per code length.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"scdc/internal/bitstream"
+)
+
+// ErrCorrupt reports a malformed Huffman stream.
+var ErrCorrupt = errors.New("huffman: corrupt stream")
+
+// maxCodeLen bounds canonical code lengths. Huffman depth d requires symbol
+// counts on the order of Fibonacci(d); 64 cannot be exceeded for any input
+// shorter than ~10^13 symbols, far beyond these workloads.
+const maxCodeLen = 64
+
+type node struct {
+	count       uint64
+	sym         int32
+	left, right int // indexes into the node arena; -1 for leaves
+}
+
+type nodeHeap struct {
+	arena []node
+	idx   []int
+}
+
+func (h nodeHeap) Len() int { return len(h.idx) }
+func (h nodeHeap) Less(i, j int) bool {
+	a, b := h.arena[h.idx[i]], h.arena[h.idx[j]]
+	if a.count != b.count {
+		return a.count < b.count
+	}
+	// Tie-break on symbol for determinism.
+	return a.sym < b.sym
+}
+func (h nodeHeap) Swap(i, j int)       { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *nodeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+type symLen struct {
+	sym int32
+	len int
+}
+
+// symCount is one distinct symbol with its frequency, sorted by symbol.
+type symCount struct {
+	sym   int32
+	count uint64
+}
+
+// gatherCounts returns the distinct symbols of q with counts, sorted by
+// symbol, using the dense path when the range permits.
+func gatherCounts(q []int32) []symCount {
+	if lo, hi, ok := symbolRange(q); ok {
+		counts := denseCounts(q, lo, hi)
+		out := make([]symCount, 0, 64)
+		for i, c := range counts {
+			if c > 0 {
+				out = append(out, symCount{lo + int32(i), c})
+			}
+		}
+		return out
+	}
+	m := make(map[int32]uint64)
+	for _, v := range q {
+		m[v]++
+	}
+	out := make([]symCount, 0, len(m))
+	for s, c := range m {
+		out = append(out, symCount{s, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sym < out[j].sym })
+	return out
+}
+
+// codeLengths computes Huffman code lengths for the distinct symbols of q.
+func codeLengths(q []int32) []symLen {
+	syms := gatherCounts(q)
+	if len(syms) == 1 {
+		return []symLen{{syms[0].sym, 1}}
+	}
+
+	arena := make([]node, 0, 2*len(syms))
+	h := &nodeHeap{arena: arena}
+	for _, s := range syms {
+		h.arena = append(h.arena, node{count: s.count, sym: s.sym, left: -1, right: -1})
+		h.idx = append(h.idx, len(h.arena)-1)
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		h.arena = append(h.arena, node{
+			count: h.arena[a].count + h.arena[b].count,
+			sym:   minI32(h.arena[a].sym, h.arena[b].sym),
+			left:  a, right: b,
+		})
+		heap.Push(h, len(h.arena)-1)
+	}
+	root := h.idx[0]
+
+	// Iterative depth-first traversal to assign depths.
+	out := make([]symLen, 0, len(syms))
+	type frame struct{ n, depth int }
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := h.arena[f.n]
+		if nd.left < 0 {
+			d := f.depth
+			if d == 0 {
+				d = 1 // single-node tree, handled above, defensive
+			}
+			out = append(out, symLen{nd.sym, d})
+			continue
+		}
+		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].len != out[j].len {
+			return out[i].len < out[j].len
+		}
+		return out[i].sym < out[j].sym
+	})
+	return out
+}
+
+func minI32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Encode compresses q into a self-describing byte stream.
+func Encode(q []int32) []byte {
+	table := []symLen(nil)
+	if len(q) > 0 {
+		table = codeLengths(q)
+	}
+
+	// Canonical code assignment: codes ordered by (length, symbol). When
+	// the symbol range is dense, lookups run over flat arrays.
+	lo, hi, dense := symbolRange(q)
+	var codesArr []uint64
+	var lensArr []uint8
+	var codes map[int32]uint64
+	var lens map[int32]uint
+	if dense && len(q) > 0 {
+		codesArr = make([]uint64, int(hi-lo)+1)
+		lensArr = make([]uint8, int(hi-lo)+1)
+	} else {
+		codes = make(map[int32]uint64, len(table))
+		lens = make(map[int32]uint, len(table))
+	}
+	var code uint64
+	prevLen := 0
+	for _, sl := range table {
+		if prevLen != 0 {
+			code = (code + 1) << uint(sl.len-prevLen)
+		}
+		if codesArr != nil {
+			codesArr[sl.sym-lo] = code
+			lensArr[sl.sym-lo] = uint8(sl.len)
+		} else {
+			codes[sl.sym] = code
+			lens[sl.sym] = uint(sl.len)
+		}
+		prevLen = sl.len
+	}
+
+	// Header: count of samples, table size, then (zigzag delta symbol,
+	// length) pairs.
+	hdr := make([]byte, 0, 16+len(table)*3)
+	hdr = binary.AppendUvarint(hdr, uint64(len(q)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(table)))
+	prevSym := int64(0)
+	for _, sl := range table {
+		hdr = binary.AppendVarint(hdr, int64(sl.sym)-prevSym)
+		hdr = binary.AppendUvarint(hdr, uint64(sl.len))
+		prevSym = int64(sl.sym)
+	}
+
+	w := bitstream.NewWriter(len(q)/2 + 16)
+	if codesArr != nil {
+		for _, v := range q {
+			w.WriteBits(codesArr[v-lo], uint(lensArr[v-lo]))
+		}
+	} else {
+		for _, v := range q {
+			w.WriteBits(codes[v], lens[v])
+		}
+	}
+	body := w.Bytes()
+
+	out := make([]byte, 0, len(hdr)+len(body)+8)
+	out = binary.AppendUvarint(out, uint64(len(hdr)))
+	out = append(out, hdr...)
+	out = append(out, body...)
+	return out
+}
+
+// decTable holds canonical decoding state for one code length.
+type decTable struct {
+	firstCode uint64 // canonical code value of the first code of this length
+	firstIdx  int    // index into syms of that code
+	count     int    // number of codes of this length
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) ([]int32, error) {
+	hdrLen, n := binary.Uvarint(data)
+	if n <= 0 || hdrLen > uint64(len(data)-n) {
+		return nil, fmt.Errorf("%w: bad header length", ErrCorrupt)
+	}
+	hdr := data[n : n+int(hdrLen)]
+	body := data[n+int(hdrLen):]
+
+	nsamp, k := binary.Uvarint(hdr)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad sample count", ErrCorrupt)
+	}
+	hdr = hdr[k:]
+	ntab, k := binary.Uvarint(hdr)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad table size", ErrCorrupt)
+	}
+	hdr = hdr[k:]
+	if nsamp > 0 && ntab == 0 {
+		return nil, fmt.Errorf("%w: empty table with %d samples", ErrCorrupt, nsamp)
+	}
+	if nsamp == 0 {
+		return []int32{}, nil
+	}
+	if ntab > uint64(len(hdr)) { // each entry needs ≥2 bytes... ≥1; sanity cap
+		return nil, fmt.Errorf("%w: table size %d exceeds header", ErrCorrupt, ntab)
+	}
+
+	syms := make([]int32, ntab)
+	lengths := make([]int, ntab)
+	prevSym := int64(0)
+	prevLen := 0
+	for i := range syms {
+		ds, k := binary.Varint(hdr)
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: bad symbol delta", ErrCorrupt)
+		}
+		hdr = hdr[k:]
+		l, k := binary.Uvarint(hdr)
+		if k <= 0 || l == 0 || l > maxCodeLen {
+			return nil, fmt.Errorf("%w: bad code length", ErrCorrupt)
+		}
+		hdr = hdr[k:]
+		if int(l) < prevLen {
+			return nil, fmt.Errorf("%w: non-monotonic code lengths", ErrCorrupt)
+		}
+		prevSym += ds
+		if prevSym < -1<<31 || prevSym > 1<<31-1 {
+			return nil, fmt.Errorf("%w: symbol out of int32 range", ErrCorrupt)
+		}
+		syms[i] = int32(prevSym)
+		lengths[i] = int(l)
+		prevLen = int(l)
+	}
+
+	// Build per-length canonical tables plus a table-driven fast path for
+	// codes up to fastBits long (the overwhelming majority of symbols in a
+	// skewed index distribution decode in one lookup).
+	const fastBits = 12
+	type fastEnt struct {
+		sym int32
+		len uint8
+	}
+	fast := make([]fastEnt, 1<<fastBits)
+	tables := make([]decTable, maxCodeLen+1)
+	var code uint64
+	prevLen = 0
+	for i := range syms {
+		l := lengths[i]
+		if prevLen != 0 {
+			code = (code + 1) << uint(l-prevLen)
+		}
+		if tables[l].count == 0 {
+			tables[l].firstCode = code
+			tables[l].firstIdx = i
+		}
+		tables[l].count++
+		if l <= fastBits {
+			base := code << uint(fastBits-l)
+			span := uint64(1) << uint(fastBits-l)
+			for j := base; j < base+span; j++ {
+				fast[j] = fastEnt{syms[i], uint8(l)}
+			}
+		}
+		prevLen = l
+	}
+
+	r := bitstream.NewReader(body)
+	out := make([]int32, nsamp)
+	for i := range out {
+		if e := fast[r.PeekBits(fastBits)]; e.len != 0 {
+			if err := r.Skip(uint(e.len)); err != nil {
+				return nil, fmt.Errorf("%w: truncated body", ErrCorrupt)
+			}
+			out[i] = e.sym
+			continue
+		}
+		// Slow path: codes longer than fastBits.
+		var v uint64
+		l := 0
+		for {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated body", ErrCorrupt)
+			}
+			v = v<<1 | uint64(b)
+			l++
+			if l > maxCodeLen {
+				return nil, fmt.Errorf("%w: code overflow", ErrCorrupt)
+			}
+			t := tables[l]
+			if t.count > 0 && v >= t.firstCode && v < t.firstCode+uint64(t.count) {
+				out[i] = syms[t.firstIdx+int(v-t.firstCode)]
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, q []int32) {
+	t.Helper()
+	enc := Encode(q)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec) != len(q) {
+		t.Fatalf("length %d != %d", len(dec), len(q))
+	}
+	for i := range q {
+		if dec[i] != q[i] {
+			t.Fatalf("mismatch at %d: %d != %d", i, dec[i], q[i])
+		}
+	}
+}
+
+func TestEmpty(t *testing.T)        { roundTrip(t, []int32{}) }
+func TestSingleSymbol(t *testing.T) { roundTrip(t, []int32{7, 7, 7, 7, 7}) }
+func TestOneSample(t *testing.T)    { roundTrip(t, []int32{-42}) }
+
+func TestTwoSymbols(t *testing.T) {
+	roundTrip(t, []int32{1, 2, 1, 1, 2, 1, 1, 1})
+}
+
+func TestNegativeSymbols(t *testing.T) {
+	roundTrip(t, []int32{-1, -2, 3, -1 << 31, 1<<31 - 1, 0, -1})
+}
+
+func TestSkewedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := make([]int32, 50000)
+	for i := range q {
+		// Geometric-ish distribution mimicking quantization indices.
+		v := int32(0)
+		for rng.Float64() < 0.5 && v < 30 {
+			v++
+		}
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		q[i] = v + 1<<15
+	}
+	enc := Encode(q)
+	if len(enc) >= len(q)*4 {
+		t.Fatalf("no compression: %d bytes for %d symbols", len(enc), len(q))
+	}
+	roundTrip(t, q)
+}
+
+func TestUniformWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := make([]int32, 10000)
+	for i := range q {
+		q[i] = rng.Int31n(1 << 20)
+	}
+	roundTrip(t, q)
+}
+
+func TestCompressedSizeTracksEntropy(t *testing.T) {
+	// Lower-entropy stream must encode smaller.
+	n := 20000
+	lo := make([]int32, n)
+	hi := make([]int32, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range lo {
+		lo[i] = int32(rng.Intn(4))
+		hi[i] = int32(rng.Intn(1024))
+	}
+	if el, eh := len(Encode(lo)), len(Encode(hi)); el >= eh {
+		t.Fatalf("low entropy %d >= high entropy %d", el, eh)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	enc := Encode([]int32{1, 2, 3, 4, 5, 1, 2, 3})
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Decode(enc[:1]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated body accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 0xff // header length corruption
+	if _, err := Decode(bad); err == nil {
+		t.Error("corrupt header length accepted")
+	}
+}
+
+// TestQuickRoundTrip property: arbitrary int32 streams round-trip.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(q []int32) bool {
+		enc := Encode(q)
+		dec, err := Decode(enc)
+		if err != nil || len(dec) != len(q) {
+			return false
+		}
+		for i := range q {
+			if dec[i] != q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package interp provides the interpolation kernels used by the
+// interpolation-based compressors (SZ3, QoZ, HPEZ, MGARD). It implements
+// the linear and cubic spline predictors of SZ3 (paper Section IV-A) with
+// the boundary fallbacks of the reference implementation, plus the
+// multilinear kernels used by MGARD and the multi-dimensional kernels used
+// by HPEZ.
+package interp
+
+// Kind selects an interpolation family.
+type Kind byte
+
+const (
+	// Linear is two-point linear interpolation.
+	Linear Kind = 0
+	// Cubic is four-point cubic spline interpolation.
+	Cubic Kind = 1
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Cubic {
+		return "cubic"
+	}
+	return "linear"
+}
+
+// Mid2 is the two-point linear midpoint kernel, written overflow-safe so
+// the prediction stays within the hull of its neighbors even for values
+// near the float64 limit.
+func Mid2(a, b float64) float64 { return a/2 + b/2 }
+
+// Cubic4 is the four-point cubic spline midpoint kernel used by SZ3:
+// p = (-a + 9b + 9c - d)/16 for samples a,b,c,d at -3s,-s,+s,+3s.
+func Cubic4(a, b, c, d float64) float64 { return (-a + 9*b + 9*c - d) / 16 }
+
+// Quad3Left is the quadratic kernel when only the left third point exists:
+// samples a,b,c at -3s,-s,+s.
+func Quad3Left(a, b, c float64) float64 { return (-a + 6*b + 3*c) / 8 }
+
+// Quad3Right is the quadratic kernel when only the right third point
+// exists: samples b,c,d at -s,+s,+3s.
+func Quad3Right(b, c, d float64) float64 { return (3*b + 6*c - d) / 8 }
+
+// ExtrapLeft2 linearly extrapolates past the right boundary from samples
+// a,b at -3s,-s: p = 1.5b - 0.5a.
+func ExtrapLeft2(a, b float64) float64 { return 1.5*b - 0.5*a }
+
+// Line predicts the value at position t along a 1D line of extent n with
+// sampling stride s, where values at even multiples of s (and, within the
+// current pass, positions < t of the same parity) are available through
+// at. t must be an odd multiple of s with 0 <= t < n. The kernel choice
+// follows SZ3: full cubic in the interior, quadratic near one boundary,
+// linear otherwise, extrapolation when the right neighbor is missing.
+func Line(at func(int) float64, n, t, s int, kind Kind) float64 {
+	hasR := t+s < n
+	hasL3 := t-3*s >= 0
+	hasR3 := t+3*s < n
+	switch {
+	case kind == Cubic && hasL3 && hasR3:
+		return Cubic4(at(t-3*s), at(t-s), at(t+s), at(t+3*s))
+	case kind == Cubic && hasL3 && hasR:
+		return Quad3Left(at(t-3*s), at(t-s), at(t+s))
+	case kind == Cubic && hasR3: // implies hasR; left third missing
+		return Quad3Right(at(t-s), at(t+s), at(t+3*s))
+	case hasR:
+		return Mid2(at(t-s), at(t+s))
+	case hasL3:
+		return ExtrapLeft2(at(t-3*s), at(t-s))
+	default:
+		return at(t - s)
+	}
+}
+
+// LineMulti predicts at position t by averaging the 1D Line predictions of
+// every direction listed in dirs, each with its own extent/position/stride.
+// This is the multi-dimensional interpolation mode of HPEZ: it pools
+// correlation from the plane orthogonal to the primary direction, which is
+// exactly the correlation the paper's QP method otherwise exploits
+// (Section IV-B explains why HPEZ shows the weakest clustering).
+//
+// Each entry of dirs supplies the accessor plus (n, t, s) for that axis.
+// dirs must be non-empty.
+type LineDir struct {
+	At      func(int) float64
+	N, T, S int
+}
+
+// LineMulti averages per-direction predictions.
+func LineMulti(dirs []LineDir, kind Kind) float64 {
+	sum := 0.0
+	for _, d := range dirs {
+		sum += Line(d.At, d.N, d.T, d.S, kind)
+	}
+	return sum / float64(len(dirs))
+}

@@ -1,0 +1,113 @@
+// Package inttest holds cross-module integration tests: every compressor
+// against every synthetic dataset, QP bit-identity across the full matrix,
+// and predictor-selection sanity.
+package inttest
+
+import (
+	"math"
+	"testing"
+
+	"scdc"
+	"scdc/internal/datagen"
+)
+
+var matrixDims = []int{40, 48, 56}
+
+var allDatasets = []datagen.Dataset{
+	datagen.Miranda, datagen.Hurricane, datagen.SegSalt,
+	datagen.Scale, datagen.S3D, datagen.CESM, datagen.RTM,
+}
+
+// TestMatrixRoundTrip: every (compressor x dataset x bound) cell must
+// round-trip within the bound (TTHRESH: within its RMSE budget).
+func TestMatrixRoundTrip(t *testing.T) {
+	for _, ds := range allDatasets {
+		f := datagen.MustGenerate(ds, 1, matrixDims, 9)
+		for alg := scdc.SZ3; alg <= scdc.SPERR; alg++ {
+			for _, rel := range []float64{1e-3, 1e-5} {
+				opts := scdc.Options{Algorithm: alg, RelativeBound: rel}
+				if alg.SupportsQP() {
+					opts.QP = scdc.DefaultQP()
+				}
+				stream, err := scdc.Compress(f.Data, f.Dims(), opts)
+				if err != nil {
+					t.Fatalf("%v/%v rel=%g compress: %v", ds, alg, rel, err)
+				}
+				res, err := scdc.Decompress(stream)
+				if err != nil {
+					t.Fatalf("%v/%v rel=%g decompress: %v", ds, alg, rel, err)
+				}
+				bound := rel * f.Range()
+				if alg == scdc.TTHRESH {
+					mse, _ := scdc.MSE(f.Data, res.Data)
+					if math.Sqrt(mse) > bound {
+						t.Errorf("%v/%v rel=%g: RMSE %g > %g", ds, alg, rel, math.Sqrt(mse), bound)
+					}
+					continue
+				}
+				maxErr, _ := scdc.MaxAbsError(f.Data, res.Data)
+				if maxErr > bound*(1+1e-12) {
+					t.Errorf("%v/%v rel=%g: max err %g > %g", ds, alg, rel, maxErr, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixQPBitIdentity: across every base and dataset, enabling QP
+// must leave the decompressed bytes identical — the paper's core
+// correctness property.
+func TestMatrixQPBitIdentity(t *testing.T) {
+	for _, ds := range allDatasets {
+		f := datagen.MustGenerate(ds, 1, matrixDims, 9)
+		for _, alg := range []scdc.Algorithm{scdc.SZ3, scdc.QoZ, scdc.HPEZ, scdc.MGARD} {
+			base, err := scdc.Compress(f.Data, f.Dims(), scdc.Options{Algorithm: alg, RelativeBound: 1e-4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qp, err := scdc.Compress(f.Data, f.Dims(), scdc.Options{Algorithm: alg, RelativeBound: 1e-4, QP: scdc.DefaultQP()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(qp) > len(base) {
+				t.Errorf("%v/%v: QP enlarged the stream (%d > %d)", ds, alg, len(qp), len(base))
+			}
+			rb, err := scdc.Decompress(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rq, err := scdc.Decompress(qp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range rb.Data {
+				if rb.Data[i] != rq.Data[i] {
+					t.Fatalf("%v/%v: decompressed data differs at %d", ds, alg, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixCompressorOrdering documents the expected ratio ordering at a
+// representative bound: the tuned interpolation compressors should not
+// lose to MGARD (the paper's lowest-ratio base) on any dataset.
+func TestMatrixCompressorOrdering(t *testing.T) {
+	for _, ds := range allDatasets {
+		f := datagen.MustGenerate(ds, 1, matrixDims, 9)
+		size := func(alg scdc.Algorithm) int {
+			s, err := scdc.Compress(f.Data, f.Dims(), scdc.Options{Algorithm: alg, RelativeBound: 1e-4, QP: scdc.DefaultQP()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return len(s)
+		}
+		mgard := size(scdc.MGARD)
+		for _, alg := range []scdc.Algorithm{scdc.SZ3, scdc.QoZ, scdc.HPEZ} {
+			if s := size(alg); s > mgard {
+				t.Errorf("%v: %v (%d bytes) lost to MGARD (%d bytes)", ds, alg, s, mgard)
+			}
+		}
+	}
+}

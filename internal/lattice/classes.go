@@ -1,0 +1,174 @@
+package lattice
+
+import (
+	"math/bits"
+
+	"scdc/internal/core"
+)
+
+// Point describes one data point visited by the parity-class multilevel
+// schedule shared by the HPEZ and MGARD reimplementations.
+type Point struct {
+	Idx   int    // flat index
+	Level int    // 1-based level, stride 2^(level-1)
+	S     int    // level stride
+	Mask  uint   // parity class: bit d set when the coord along axis d is an odd multiple of S
+	Coord [4]int // coordinates
+	NB    core.Neighborhood
+}
+
+// WalkClasses iterates one level of the HPEZ schedule. Unlike SZ3's
+// sequential dimension sweeps, HPEZ organizes the level's points into
+// parity classes (odd along exactly the axes in Mask) processed in order
+// of increasing popcount: face points first, then edge points, then body
+// centers. Every class's interpolation neighbors (±S, ±3S along any odd
+// axis) belong to a lower-popcount class or the previous level, so both
+// sides of the stencil are always available — this is the
+// multi-dimensional interpolation that lets HPEZ exploit cross-direction
+// correlation (and why it shows the weakest index clustering, paper
+// Section IV-B).
+//
+// Classes with equal popcount are ordered by ascending mask for
+// determinism.
+func WalkClasses(dims, strides []int, level int, fn func(pt *Point)) {
+	nd := len(dims)
+	s := 1 << (level - 1)
+	nClasses := 1 << nd
+
+	// Order masks by (popcount, mask).
+	order := make([]uint, 0, nClasses-1)
+	for pc := 1; pc <= nd; pc++ {
+		for m := uint(1); m < uint(nClasses); m++ {
+			if bits.OnesCount(m) == pc {
+				order = append(order, m)
+			}
+		}
+	}
+
+	var pt Point
+	for _, mask := range order {
+		// Skip classes whose odd axes cannot host odd multiples of s.
+		ok := true
+		for d := 0; d < nd; d++ {
+			if mask&(1<<uint(d)) != 0 && s >= dims[d] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		walkClass(dims, strides, level, s, mask, &pt, fn)
+	}
+}
+
+// QPPlaneAxes returns the two axes spanning the QP plane for a class: the
+// two fastest axes excluding the class's primary interpolation direction
+// (its fastest odd axis). Either return may be -1 when the field has too
+// few axes. Within a class the lattice spacing is 2s along every axis, so
+// both plane strides are 2s.
+func QPPlaneAxes(nd int, mask uint) (left, top, primary int) {
+	primary = -1
+	for d := nd - 1; d >= 0; d-- {
+		if mask&(1<<uint(d)) != 0 {
+			primary = d
+			break
+		}
+	}
+	left, top = -1, -1
+	for d := nd - 1; d >= 0; d-- {
+		if d == primary {
+			continue
+		}
+		if left == -1 {
+			left = d
+		} else if top == -1 {
+			top = d
+			break
+		}
+	}
+	return left, top, primary
+}
+
+func walkClass(dims, strides []int, level, s int, mask uint, pt *Point, fn func(pt *Point)) {
+	nd := len(dims)
+	leftAx, topAx, primAx := QPPlaneAxes(nd, mask)
+
+	var leftOff, topOff, backOff int
+	if leftAx >= 0 {
+		leftOff = 2 * s * strides[leftAx]
+	}
+	if topAx >= 0 {
+		topOff = 2 * s * strides[topAx]
+	}
+	if primAx >= 0 {
+		backOff = 2 * s * strides[primAx]
+	}
+
+	// Per-axis start and step.
+	var start, step, ext [4]int
+	for d := 0; d < nd; d++ {
+		if mask&(1<<uint(d)) != 0 {
+			start[d], step[d] = s, 2*s
+		} else {
+			start[d], step[d] = 0, 2*s
+		}
+		ext[d] = dims[d]
+	}
+	for d := nd; d < 4; d++ {
+		start[d], step[d], ext[d] = 0, 1, 1
+	}
+
+	var strd [4]int
+	for d := 0; d < nd; d++ {
+		strd[d] = strides[d]
+	}
+
+	for c0 := start[0]; c0 < ext[0]; c0 += step[0] {
+		for c1 := start[1]; c1 < ext[1]; c1 += step[1] {
+			for c2 := start[2]; c2 < ext[2]; c2 += step[2] {
+				for c3 := start[3]; c3 < ext[3]; c3 += step[3] {
+					var coord [4]int
+					coord[0], coord[1], coord[2], coord[3] = c0, c1, c2, c3
+					idx := c0*strd[0] + c1*strd[1] + c2*strd[2] + c3*strd[3]
+					nb := core.Neighborhood{
+						Level: level,
+						Left:  -1, Top: -1, TopLeft: -1,
+						Back: -1, BackLeft: -1, BackTop: -1, BackTopLeft: -1,
+					}
+					hasLeft := leftAx >= 0 && coord[leftAx] >= start[leftAx]+2*s
+					hasTop := topAx >= 0 && coord[topAx] >= start[topAx]+2*s
+					hasBack := primAx >= 0 && coord[primAx] >= start[primAx]+2*s
+					if hasLeft {
+						nb.Left = idx - leftOff
+					}
+					if hasTop {
+						nb.Top = idx - topOff
+					}
+					if hasLeft && hasTop {
+						nb.TopLeft = idx - leftOff - topOff
+					}
+					if hasBack {
+						nb.Back = idx - backOff
+						if hasLeft {
+							nb.BackLeft = nb.Back - leftOff
+						}
+						if hasTop {
+							nb.BackTop = nb.Back - topOff
+						}
+						if hasLeft && hasTop {
+							nb.BackTopLeft = nb.Back - leftOff - topOff
+						}
+					}
+					pt.Idx = idx
+					pt.Level = level
+					pt.S = s
+					pt.Mask = mask
+					pt.Coord = coord
+					pt.NB = nb
+					fn(pt)
+				}
+			}
+		}
+	}
+}

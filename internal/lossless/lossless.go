@@ -1,0 +1,123 @@
+// Package lossless provides the final lossless compression stage that the
+// paper's pipeline applies after entropy coding (ZSTD in the original
+// implementations). Two interchangeable codecs are provided:
+//
+//   - Flate: the stdlib DEFLATE implementation, the default back-end.
+//   - LZ: a from-scratch byte-oriented LZ77 codec with a hash-chain
+//     matcher, useful where a dependency-free fast path is preferred and
+//     as an ablation point (BenchmarkAblationLosslessBackend).
+//
+// Both are wrapped in a one-byte codec tag so streams are self-describing.
+package lossless
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorrupt reports a malformed lossless stream.
+var ErrCorrupt = errors.New("lossless: corrupt stream")
+
+// Codec identifies a lossless back-end.
+type Codec byte
+
+const (
+	// None stores bytes verbatim.
+	None Codec = 0
+	// Flate is stdlib DEFLATE at default compression.
+	Flate Codec = 1
+	// LZ is the built-in LZ77 codec.
+	LZ Codec = 2
+	// Range is the built-in adaptive binary range coder.
+	Range Codec = 3
+)
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Flate:
+		return "flate"
+	case LZ:
+		return "lz"
+	case Range:
+		return "range"
+	default:
+		return fmt.Sprintf("codec(%d)", byte(c))
+	}
+}
+
+// Compress encodes src with the chosen codec, prefixing the codec tag and
+// the uncompressed length.
+func Compress(c Codec, src []byte) ([]byte, error) {
+	hdr := make([]byte, 1, 11)
+	hdr[0] = byte(c)
+	hdr = binary.AppendUvarint(hdr, uint64(len(src)))
+	switch c {
+	case None:
+		return append(hdr, src...), nil
+	case Flate:
+		var buf bytes.Buffer
+		buf.Write(hdr)
+		w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(src); err != nil {
+			return nil, err
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	case LZ:
+		return append(hdr, lzCompress(src)...), nil
+	case Range:
+		return append(hdr, rangeCompress(src)...), nil
+	default:
+		return nil, fmt.Errorf("lossless: unknown codec %d", c)
+	}
+}
+
+// Decompress reverses Compress.
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("%w: empty stream", ErrCorrupt)
+	}
+	c := Codec(data[0])
+	n, k := binary.Uvarint(data[1:])
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad length header", ErrCorrupt)
+	}
+	body := data[1+k:]
+	switch c {
+	case None:
+		if uint64(len(body)) != n {
+			return nil, fmt.Errorf("%w: stored length mismatch", ErrCorrupt)
+		}
+		return append([]byte(nil), body...), nil
+	case Flate:
+		r := flate.NewReader(bytes.NewReader(body))
+		defer r.Close()
+		out := make([]byte, 0, n)
+		buf := bytes.NewBuffer(out)
+		if _, err := io.Copy(buf, io.LimitReader(r, int64(n)+1)); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if uint64(buf.Len()) != n {
+			return nil, fmt.Errorf("%w: flate length mismatch", ErrCorrupt)
+		}
+		return buf.Bytes(), nil
+	case LZ:
+		return lzDecompress(body, int(n))
+	case Range:
+		return rangeDecompress(body, int(n))
+	default:
+		return nil, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, c)
+	}
+}

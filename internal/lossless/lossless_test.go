@@ -1,0 +1,175 @@
+package lossless
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var codecs = []Codec{None, Flate, LZ, Range}
+
+func roundTrip(t *testing.T, c Codec, src []byte) {
+	t.Helper()
+	enc, err := Compress(c, src)
+	if err != nil {
+		t.Fatalf("%v compress: %v", c, err)
+	}
+	dec, err := Decompress(enc)
+	if err != nil {
+		t.Fatalf("%v decompress: %v", c, err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("%v round trip mismatch (%d vs %d bytes)", c, len(dec), len(src))
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	for _, c := range codecs {
+		roundTrip(t, c, nil)
+		roundTrip(t, c, []byte{})
+	}
+}
+
+func TestSmall(t *testing.T) {
+	for _, c := range codecs {
+		roundTrip(t, c, []byte{1})
+		roundTrip(t, c, []byte{1, 2, 3})
+	}
+}
+
+func TestRepetitive(t *testing.T) {
+	src := bytes.Repeat([]byte("abcabcabc___"), 500)
+	for _, c := range codecs {
+		roundTrip(t, c, src)
+	}
+	// The LZ-family codecs must exploit the repetition; the order-0 range
+	// coder only sees the symbol distribution, so it gets a looser check.
+	for _, c := range []Codec{Flate, LZ} {
+		enc, _ := Compress(c, src)
+		if len(enc) >= len(src)/4 {
+			t.Errorf("%v: poor compression of repetitive data: %d of %d", c, len(enc), len(src))
+		}
+	}
+	if enc, _ := Compress(Range, src); len(enc) >= len(src)/2 {
+		t.Errorf("range: poor compression of repetitive data: %d of %d", len(enc), len(src))
+	}
+}
+
+func TestRandomIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := make([]byte, 8192)
+	rng.Read(src)
+	for _, c := range codecs {
+		roundTrip(t, c, src)
+	}
+}
+
+func TestOverlappingMatches(t *testing.T) {
+	// RLE-style data exercises overlapping LZ copies.
+	src := append(bytes.Repeat([]byte{0x5a}, 4000), bytes.Repeat([]byte{1, 2}, 2000)...)
+	roundTrip(t, LZ, src)
+}
+
+func TestLongStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	src := make([]byte, 1<<18)
+	// Mixed compressibility: runs plus noise.
+	for i := 0; i < len(src); i += 256 {
+		if rng.Intn(2) == 0 {
+			b := byte(rng.Intn(256))
+			for j := i; j < i+256; j++ {
+				src[j] = b
+			}
+		} else {
+			rng.Read(src[i : i+256])
+		}
+	}
+	for _, c := range codecs {
+		roundTrip(t, c, src)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	src := bytes.Repeat([]byte("hello world "), 100)
+	for _, c := range codecs {
+		enc, _ := Compress(c, src)
+		if _, err := Decompress(enc[:len(enc)/3]); err == nil && c != None {
+			t.Errorf("%v: truncated stream accepted", c)
+		}
+	}
+	if _, err := Decompress(nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Decompress([]byte{99, 4, 1, 2, 3, 4}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	// Stored-length mismatch for None.
+	enc, _ := Compress(None, src)
+	if _, err := Decompress(enc[:len(enc)-3]); err == nil {
+		t.Error("short stored stream accepted")
+	}
+}
+
+func TestCodecString(t *testing.T) {
+	if None.String() != "none" || Flate.String() != "flate" || LZ.String() != "lz" || Range.String() != "range" {
+		t.Error("codec names wrong")
+	}
+	if Codec(77).String() == "" {
+		t.Error("unknown codec has empty name")
+	}
+}
+
+// TestQuickLZ property: the from-scratch LZ codec round-trips arbitrary
+// byte strings.
+func TestQuickLZ(t *testing.T) {
+	f := func(src []byte) bool {
+		enc, err := Compress(LZ, src)
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(enc)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRange property: the from-scratch range coder round-trips
+// arbitrary byte strings.
+func TestQuickRange(t *testing.T) {
+	f := func(src []byte) bool {
+		enc, err := Compress(Range, src)
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(enc)
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRangeBeatsNoneOnSkewed: the adaptive model must compress a skewed
+// byte distribution well below raw size.
+func TestRangeBeatsNoneOnSkewed(t *testing.T) {
+	src := make([]byte, 1<<15)
+	for i := range src {
+		if i%7 == 0 {
+			src[i] = byte(i % 3)
+		}
+	}
+	enc, err := Compress(Range, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > len(src)/3 {
+		t.Fatalf("range coder too weak: %d of %d", len(enc), len(src))
+	}
+	dec, err := Decompress(enc)
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatal("round trip failed")
+	}
+}

@@ -1,0 +1,175 @@
+package lossless
+
+import "fmt"
+
+// The LZ codec is a byte-oriented LZ77 with a 64 KiB window and a
+// hash-chain matcher, in the spirit of LZ4/ZSTD's fast modes. The token
+// format interleaves literal runs and matches:
+//
+//	token := litLen:uvarint, literals..., matchLen:uvarint, offset:uvarint
+//
+// matchLen == 0 terminates the stream (the trailing literal run carries any
+// remaining bytes). Minimum useful match length is 4.
+
+const (
+	lzWindow   = 1 << 16
+	lzMinMatch = 4
+	lzHashBits = 15
+	lzMaxChain = 16
+)
+
+func lzHash(v uint32) uint32 {
+	// Fibonacci hashing of the 4-byte sequence.
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+func putUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func getUvarint(src []byte, pos int) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for {
+		if pos >= len(src) {
+			return 0, 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+		}
+		b := src[pos]
+		pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, pos, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, 0, fmt.Errorf("%w: varint overflow", ErrCorrupt)
+		}
+	}
+}
+
+// lzCompress produces the token stream for src.
+func lzCompress(src []byte) []byte {
+	out := make([]byte, 0, len(src)/2+16)
+	if len(src) < lzMinMatch {
+		out = putUvarint(out, uint64(len(src)))
+		out = append(out, src...)
+		out = putUvarint(out, 0) // terminator
+		return out
+	}
+
+	head := make([]int32, 1<<lzHashBits)
+	for i := range head {
+		head[i] = -1
+	}
+	chain := make([]int32, len(src))
+
+	litStart := 0
+	i := 0
+	limit := len(src) - lzMinMatch
+	for i <= limit {
+		h := lzHash(load32(src, i))
+		cand := head[h]
+		head[h] = int32(i)
+		chain[i] = cand
+
+		bestLen, bestOff := 0, 0
+		tries := lzMaxChain
+		for cand >= 0 && int(cand) >= i-lzWindow+1 && tries > 0 {
+			c := int(cand)
+			if load32(src, c) == load32(src, i) {
+				l := lzMinMatch
+				max := len(src) - i
+				for l < max && src[c+l] == src[i+l] {
+					l++
+				}
+				if l > bestLen {
+					bestLen, bestOff = l, i-c
+				}
+			}
+			cand = chain[c]
+			tries--
+		}
+
+		if bestLen >= lzMinMatch {
+			out = putUvarint(out, uint64(i-litStart))
+			out = append(out, src[litStart:i]...)
+			out = putUvarint(out, uint64(bestLen))
+			out = putUvarint(out, uint64(bestOff))
+			// Insert hash entries inside the match (sparsely, every other
+			// byte) so later matches can reference this region.
+			end := i + bestLen
+			for j := i + 1; j <= end-lzMinMatch && j <= limit; j += 2 {
+				hj := lzHash(load32(src, j))
+				chain[j] = head[hj]
+				head[hj] = int32(j)
+			}
+			i = end
+			litStart = i
+		} else {
+			i++
+		}
+	}
+	// Trailing literals and terminator.
+	out = putUvarint(out, uint64(len(src)-litStart))
+	out = append(out, src[litStart:]...)
+	out = putUvarint(out, 0)
+	return out
+}
+
+// lzDecompress decodes a token stream produced by lzCompress into exactly
+// n bytes.
+func lzDecompress(src []byte, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative length", ErrCorrupt)
+	}
+	out := make([]byte, 0, n)
+	pos := 0
+	for {
+		litLen, p, err := getUvarint(src, pos)
+		if err != nil {
+			return nil, err
+		}
+		pos = p
+		if litLen > uint64(len(src)-pos) || len(out)+int(litLen) > n {
+			return nil, fmt.Errorf("%w: literal run exceeds bounds", ErrCorrupt)
+		}
+		out = append(out, src[pos:pos+int(litLen)]...)
+		pos += int(litLen)
+
+		matchLen, p, err := getUvarint(src, pos)
+		if err != nil {
+			return nil, err
+		}
+		pos = p
+		if matchLen == 0 {
+			break
+		}
+		off, p, err := getUvarint(src, pos)
+		if err != nil {
+			return nil, err
+		}
+		pos = p
+		if off == 0 || off > uint64(len(out)) {
+			return nil, fmt.Errorf("%w: match offset out of range", ErrCorrupt)
+		}
+		if len(out)+int(matchLen) > n {
+			return nil, fmt.Errorf("%w: match exceeds output length", ErrCorrupt)
+		}
+		start := len(out) - int(off)
+		for j := 0; j < int(matchLen); j++ { // byte-wise: matches may overlap
+			out = append(out, out[start+j])
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("%w: decoded %d bytes, want %d", ErrCorrupt, len(out), n)
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package lossless
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Adaptive order-0 binary range coder (the LZMA rc formulation), the
+// third lossless back-end. Each byte is coded bit by bit through a
+// 256-node binary context tree whose probabilities adapt as the stream is
+// processed. Slower than the LZ codec but often tighter on Huffman
+// output, whose byte distribution is skewed but not run-heavy — the
+// ablation point `BenchmarkAblationLosslessBackend` compares all three.
+
+const (
+	rcTopBits   = 24
+	rcProbBits  = 11
+	rcProbInit  = 1 << (rcProbBits - 1)
+	rcAdaptRate = 5
+)
+
+type rangeEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+	probs     [256]uint16
+}
+
+func newRangeEncoder() *rangeEncoder {
+	e := &rangeEncoder{rng: 0xFFFFFFFF, cacheSize: 1}
+	for i := range e.probs {
+		e.probs[i] = rcProbInit
+	}
+	return e
+}
+
+func (e *rangeEncoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		temp := e.cache
+		for {
+			e.out = append(e.out, temp+byte(e.low>>32))
+			temp = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+func (e *rangeEncoder) encodeBit(ctx int, bit int) {
+	p := uint32(e.probs[ctx])
+	bound := (e.rng >> rcProbBits) * p
+	if bit == 0 {
+		e.rng = bound
+		e.probs[ctx] = uint16(p + (((1 << rcProbBits) - p) >> rcAdaptRate))
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		e.probs[ctx] = uint16(p - (p >> rcAdaptRate))
+	}
+	for e.rng < 1<<rcTopBits {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+}
+
+func (e *rangeEncoder) encodeByte(b byte) {
+	node := 1
+	for i := 7; i >= 0; i-- {
+		bit := int(b>>uint(i)) & 1
+		e.encodeBit(node, bit)
+		node = node<<1 | bit
+	}
+}
+
+func (e *rangeEncoder) finish() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+type rangeDecoder struct {
+	code  uint32
+	rng   uint32
+	in    []byte
+	pos   int
+	probs [256]uint16
+}
+
+func newRangeDecoder(in []byte) *rangeDecoder {
+	d := &rangeDecoder{rng: 0xFFFFFFFF}
+	for i := range d.probs {
+		d.probs[i] = rcProbInit
+	}
+	d.in = in
+	d.next() // first byte emitted by the encoder is always 0
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *rangeDecoder) next() byte {
+	if d.pos < len(d.in) {
+		b := d.in[d.pos]
+		d.pos++
+		return b
+	}
+	return 0
+}
+
+func (d *rangeDecoder) decodeBit(ctx int) int {
+	p := uint32(d.probs[ctx])
+	bound := (d.rng >> rcProbBits) * p
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		d.probs[ctx] = uint16(p + (((1 << rcProbBits) - p) >> rcAdaptRate))
+	} else {
+		bit = 1
+		d.code -= bound
+		d.rng -= bound
+		d.probs[ctx] = uint16(p - (p >> rcAdaptRate))
+	}
+	for d.rng < 1<<rcTopBits {
+		d.code = d.code<<8 | uint32(d.next())
+		d.rng <<= 8
+	}
+	return bit
+}
+
+func (d *rangeDecoder) decodeByte() byte {
+	node := 1
+	for i := 0; i < 8; i++ {
+		node = node<<1 | d.decodeBit(node)
+	}
+	return byte(node & 0xFF)
+}
+
+// rangeCompress encodes src with the adaptive byte model, appending a
+// CRC-32 of the plaintext so truncation and corruption are detectable
+// (a pure range stream decodes garbage silently otherwise).
+func rangeCompress(src []byte) []byte {
+	e := newRangeEncoder()
+	for _, b := range src {
+		e.encodeByte(b)
+	}
+	out := e.finish()
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(src))
+	return append(out, crc[:]...)
+}
+
+// rangeDecompress decodes exactly n bytes and verifies the trailing CRC.
+func rangeDecompress(src []byte, n int) ([]byte, error) {
+	if n < 0 || len(src) < 4 {
+		return nil, fmt.Errorf("%w: short range stream", ErrCorrupt)
+	}
+	body, crc := src[:len(src)-4], src[len(src)-4:]
+	d := newRangeDecoder(body)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = d.decodeByte()
+	}
+	if crc32.ChecksumIEEE(out) != binary.LittleEndian.Uint32(crc) {
+		return nil, fmt.Errorf("%w: range stream checksum mismatch", ErrCorrupt)
+	}
+	return out, nil
+}

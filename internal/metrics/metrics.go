@@ -1,0 +1,123 @@
+// Package metrics implements the quality-assessment measures of the paper's
+// Section III-A: MSE, PSNR, maximum absolute/relative error, compression
+// ratio, and bit-rate.
+package metrics
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch is returned when original and decompressed arrays have
+// different lengths.
+var ErrLengthMismatch = errors.New("metrics: array length mismatch")
+
+// MSE returns the mean squared error between d and d2.
+func MSE(d, d2 []float64) (float64, error) {
+	if len(d) != len(d2) {
+		return 0, ErrLengthMismatch
+	}
+	if len(d) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range d {
+		e := d[i] - d2[i]
+		sum += e * e
+	}
+	return sum / float64(len(d)), nil
+}
+
+// PSNR returns 20*log10(range/sqrt(MSE)) where range = max(d)-min(d), the
+// formula of Section III-A. A zero MSE yields +Inf; a zero range with
+// nonzero MSE yields -Inf.
+func PSNR(d, d2 []float64) (float64, error) {
+	mse, err := MSE(d, d2)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := minMax(d)
+	rng := hi - lo
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	if rng == 0 {
+		return math.Inf(-1), nil
+	}
+	return 20 * math.Log10(rng/math.Sqrt(mse)), nil
+}
+
+// MaxAbsError returns max_i |d[i]-d2[i]|.
+func MaxAbsError(d, d2 []float64) (float64, error) {
+	if len(d) != len(d2) {
+		return 0, ErrLengthMismatch
+	}
+	m := 0.0
+	for i := range d {
+		e := math.Abs(d[i] - d2[i])
+		if e > m {
+			m = e
+		}
+	}
+	return m, nil
+}
+
+// MaxRelError returns the maximum absolute error divided by the value range
+// of d, the "max relative error" reported in the paper's Table II.
+func MaxRelError(d, d2 []float64) (float64, error) {
+	e, err := MaxAbsError(d, d2)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := minMax(d)
+	if hi == lo {
+		if e == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return e / (hi - lo), nil
+}
+
+// CompressionRatio returns originalBytes/compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int) float64 {
+	if compressedBytes == 0 {
+		return math.Inf(1)
+	}
+	return float64(originalBytes) / float64(compressedBytes)
+}
+
+// BitRate returns the average number of bits per sample in the compressed
+// stream: bitsPerSample/CR, i.e. 32/CR for float32 data and 64/CR for
+// float64 data (Section III-A).
+func BitRate(bitsPerSample int, cr float64) float64 {
+	if cr == 0 {
+		return math.Inf(1)
+	}
+	return float64(bitsPerSample) / cr
+}
+
+// ThroughputMBps converts (bytes processed, seconds elapsed) to MB/s using
+// the paper's convention of 1 MB = 1e6 bytes.
+func ThroughputMBps(bytes int, seconds float64) float64 {
+	if seconds <= 0 {
+		return math.Inf(1)
+	}
+	return float64(bytes) / 1e6 / seconds
+}
+
+func minMax(d []float64) (lo, hi float64) {
+	if len(d) == 0 {
+		return 0, 0
+	}
+	lo, hi = d[0], d[0]
+	for _, v := range d[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMSE(t *testing.T) {
+	got, err := MSE([]float64{1, 2, 3}, []float64{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4.0/3 {
+		t.Fatalf("mse = %g", got)
+	}
+	if _, err := MSE([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Fatalf("err = %v", err)
+	}
+	if got, _ := MSE(nil, nil); got != 0 {
+		t.Fatalf("empty mse = %g", got)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	d := []float64{0, 1, 2, 3, 4}
+	same := append([]float64(nil), d...)
+	p, err := PSNR(d, same)
+	if err != nil || !math.IsInf(p, 1) {
+		t.Fatalf("identical psnr = %g err=%v", p, err)
+	}
+	noisy := []float64{0.1, 1.1, 2.1, 3.1, 4.1}
+	p, _ = PSNR(d, noisy)
+	// range=4, rmse=0.1 -> 20*log10(40) = 32.04
+	if math.Abs(p-20*math.Log10(40)) > 1e-9 {
+		t.Fatalf("psnr = %g", p)
+	}
+	flat := []float64{2, 2, 2}
+	p, _ = PSNR(flat, []float64{3, 3, 3})
+	if !math.IsInf(p, -1) {
+		t.Fatalf("zero-range psnr = %g", p)
+	}
+}
+
+func TestMaxErrors(t *testing.T) {
+	d := []float64{0, 10}
+	d2 := []float64{0.5, 9}
+	m, _ := MaxAbsError(d, d2)
+	if m != 1 {
+		t.Fatalf("maxabs = %g", m)
+	}
+	r, _ := MaxRelError(d, d2)
+	if r != 0.1 {
+		t.Fatalf("maxrel = %g", r)
+	}
+	flat := []float64{5, 5}
+	r, _ = MaxRelError(flat, flat)
+	if r != 0 {
+		t.Fatalf("flat identical rel = %g", r)
+	}
+	r, _ = MaxRelError(flat, []float64{5, 6})
+	if !math.IsInf(r, 1) {
+		t.Fatalf("flat nonzero rel = %g", r)
+	}
+	if _, err := MaxAbsError([]float64{1}, nil); err != ErrLengthMismatch {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := MaxRelError([]float64{1}, nil); err != ErrLengthMismatch {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRatioAndBitRate(t *testing.T) {
+	if cr := CompressionRatio(1000, 100); cr != 10 {
+		t.Fatalf("cr = %g", cr)
+	}
+	if cr := CompressionRatio(1000, 0); !math.IsInf(cr, 1) {
+		t.Fatalf("cr = %g", cr)
+	}
+	if br := BitRate(32, 16); br != 2 {
+		t.Fatalf("bitrate = %g", br)
+	}
+	if br := BitRate(32, 0); !math.IsInf(br, 1) {
+		t.Fatalf("bitrate = %g", br)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if v := ThroughputMBps(2e6, 2); v != 1 {
+		t.Fatalf("throughput = %g", v)
+	}
+	if v := ThroughputMBps(1, 0); !math.IsInf(v, 1) {
+		t.Fatalf("throughput = %g", v)
+	}
+}

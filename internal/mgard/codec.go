@@ -1,0 +1,198 @@
+package mgard
+
+import (
+	"fmt"
+
+	"scdc/internal/core"
+	"scdc/internal/grid"
+	"scdc/internal/lattice"
+	"scdc/internal/quantizer"
+)
+
+// cornerAvg computes the multilinear interpolation of a class point from
+// its coarse-lattice corner neighbors: for each odd axis the two sides at
+// ±S are averaged (one-sided at the right boundary). Equal corner weights
+// are exact for midpoints on a uniform grid.
+func cornerAvg(data []float64, dims, strides []int, pt *lattice.Point) float64 {
+	// Iteratively average along each odd axis: maintain a set of partial
+	// offsets (at most 2^4).
+	var offs [16]int
+	offs[0] = 0
+	cnt := 1
+	for d := 0; d < len(dims); d++ {
+		if pt.Mask&(1<<uint(d)) == 0 {
+			continue
+		}
+		hasR := pt.Coord[d]+pt.S < dims[d]
+		if hasR {
+			for i := 0; i < cnt; i++ {
+				offs[cnt+i] = offs[i] + pt.S*strides[d]
+				offs[i] -= pt.S * strides[d]
+			}
+			cnt *= 2
+		} else {
+			for i := 0; i < cnt; i++ {
+				offs[i] -= pt.S * strides[d]
+			}
+		}
+	}
+	sum := 0.0
+	for i := 0; i < cnt; i++ {
+		sum += data[pt.Idx+offs[i]]
+	}
+	return sum / float64(cnt)
+}
+
+// forEachCoarse visits the coarsest lattice (multiples of 2^levels) in
+// row-major order.
+func forEachCoarse(dims []int, levels int, fn func(idx int)) {
+	a := 1 << levels
+	strides := grid.Strides(dims)
+	var walk func(axis, base int)
+	walk = func(axis, base int) {
+		if axis == len(dims) {
+			fn(base)
+			return
+		}
+		for c := 0; c < dims[axis]; c += a {
+			walk(axis+1, base+c*strides[axis])
+		}
+	}
+	walk(0, 0)
+}
+
+// compressCore runs the MGARD decomposition fine-to-coarse. data is
+// overwritten: fine positions hold decompressed values, coarse lattice
+// positions hold the corrected coarse approximation, which is returned as
+// the raw coarse stream.
+func compressCore(data []float64, dims []int, opts Options, levels int,
+	q, qp []int32, pred *core.Predictor) (coarse, literals []float64) {
+
+	strides := grid.Strides(dims)
+	ebl := levelBound(opts.ErrorBound, levels)
+	quant := quantizer.Linear{EB: ebl, Radius: opts.Radius}
+
+	for level := 1; level <= levels; level++ {
+		// Pass 1: quantize detail coefficients against the multilinear
+		// prediction from the (uncorrected) coarse lattice.
+		lattice.WalkClasses(dims, strides, level, func(pt *lattice.Point) {
+			p := cornerAvg(data, dims, strides, pt)
+			sym, dec, ok := quant.Quantize(data[pt.Idx], p)
+			q[pt.Idx] = sym
+			if !ok {
+				literals = append(literals, data[pt.Idx])
+			}
+			data[pt.Idx] = dec
+			if qp != nil {
+				qp[pt.Idx] = q[pt.Idx] - pred.Compensate(q, pt.NB)
+			}
+		})
+		// Pass 2: add the L2 projection correction, computed from the
+		// quantized details, to the coarse nodal values.
+		applyCorrection(data, dims, strides, level, quant, q, +1)
+	}
+
+	forEachCoarse(dims, levels, func(idx int) {
+		coarse = append(coarse, data[idx])
+		q[idx] = quant.CenterSym()
+		if qp != nil {
+			qp[idx] = quant.CenterSym()
+		}
+	})
+	return coarse, literals
+}
+
+// decompressCore reverses compressCore, coarse-to-fine. enc is overwritten
+// in place with recovered original symbols.
+func decompressCore(data []float64, dims []int, eb float64, levels int, radius int32,
+	enc []int32, coarse, literals []float64, pred *core.Predictor) error {
+
+	strides := grid.Strides(dims)
+	ebl := levelBound(eb, levels)
+	quant := quantizer.Linear{EB: ebl, Radius: radius}
+
+	ci := 0
+	var decErr error
+	forEachCoarse(dims, levels, func(idx int) {
+		if decErr != nil {
+			return
+		}
+		if ci >= len(coarse) {
+			decErr = fmt.Errorf("%w: coarse stream exhausted", ErrCorrupt)
+			return
+		}
+		data[idx] = coarse[ci]
+		enc[idx] = quant.CenterSym()
+		ci++
+	})
+	if decErr != nil {
+		return decErr
+	}
+	if ci != len(coarse) {
+		return fmt.Errorf("%w: %d unused coarse values", ErrCorrupt, len(coarse)-ci)
+	}
+
+	// The literal stream was appended fine-to-coarse during compression;
+	// levels are decoded coarse-to-fine here, so index literals per level.
+	litOffsets, err := literalOffsets(dims, strides, levels, enc, pred, len(literals))
+	if err != nil {
+		return err
+	}
+
+	for level := levels; level >= 1; level-- {
+		// Step 1 already happened inside literalOffsets: enc now holds
+		// recovered original symbols for every point.
+		// Step 2: remove the L2 correction from the coarse nodal values.
+		applyCorrection(data, dims, strides, level, quant, enc, -1)
+		// Step 3: reconstruct the level's values.
+		lit := litOffsets[level-1]
+		lattice.WalkClasses(dims, strides, level, func(pt *lattice.Point) {
+			if decErr != nil {
+				return
+			}
+			sym := enc[pt.Idx]
+			if sym == quantizer.Unpredictable {
+				if lit >= len(literals) {
+					decErr = fmt.Errorf("%w: literal stream exhausted", ErrCorrupt)
+					return
+				}
+				data[pt.Idx] = literals[lit]
+				lit++
+				return
+			}
+			p := cornerAvg(data, dims, strides, pt)
+			data[pt.Idx] = quant.Recover(p, sym)
+		})
+		if decErr != nil {
+			return decErr
+		}
+	}
+	return nil
+}
+
+// literalOffsets replays the compression-side symbol order (fine-to-coarse
+// class walks) to (a) invert QP on the symbol array in the exact order the
+// compressor applied it and (b) compute, per level, the starting offset
+// into the literal stream.
+func literalOffsets(dims, strides []int, levels int, enc []int32, pred *core.Predictor, nlit int) ([]int, error) {
+	offsets := make([]int, levels)
+	lit := 0
+	for level := 1; level <= levels; level++ {
+		offsets[level-1] = lit
+		lattice.WalkClasses(dims, strides, level, func(pt *lattice.Point) {
+			var c int32
+			if pred != nil {
+				c = pred.Compensate(enc, pt.NB)
+			}
+			sym := enc[pt.Idx] + c
+			enc[pt.Idx] = sym
+			if sym == quantizer.Unpredictable {
+				lit++
+			}
+		})
+	}
+	if lit != nlit {
+		return nil, fmt.Errorf("%w: literal count mismatch: walked %d, stream has %d", ErrCorrupt, lit, nlit)
+	}
+	return offsets, nil
+}

@@ -1,0 +1,116 @@
+package mgard
+
+import (
+	"scdc/internal/quantizer"
+)
+
+// applyCorrection adds (sign=+1, compression) or removes (sign=-1,
+// decompression) the L2 projection correction for one level: for each
+// axis, each coarse-lattice line solves the tridiagonal mass-matrix system
+// M w = b, where b is the load vector of the (quantized) detail function
+// restricted to that axis's single-axis detail class, and w is added to
+// the coarse nodal values. With hat functions on a uniform grid of spacing
+// h = 2s:
+//
+//	M interior diagonal 2h/3, boundary diagonal h/3, off-diagonal h/6
+//	b_k = (s/2) * (d_{(2k-1)s} + d_{(2k+1)s})
+//
+// Details are derived from the stored symbols (detail = 2*(sym-R)*eb,
+// zero for unpredictable points) so compression and decompression compute
+// bit-identical corrections.
+func applyCorrection(data []float64, dims, strides []int, level int,
+	quant quantizer.Linear, sym []int32, sign float64) {
+
+	s := 1 << (level - 1)
+	nd := len(dims)
+	for d := 0; d < nd; d++ {
+		if dims[d] <= s {
+			continue // no details along this axis at this level
+		}
+		forEachCoarseLine(dims, strides, d, 2*s, func(base int) {
+			correctLine(data, sym, quant, base, strides[d], dims[d], s, sign)
+		})
+	}
+}
+
+// forEachCoarseLine visits the flat base index of every line running along
+// axis d whose other coordinates are multiples of step.
+func forEachCoarseLine(dims, strides []int, d, step int, fn func(base int)) {
+	nd := len(dims)
+	var walk func(axis, base int)
+	walk = func(axis, base int) {
+		if axis == nd {
+			fn(base)
+			return
+		}
+		if axis == d {
+			walk(axis+1, base)
+			return
+		}
+		for c := 0; c < dims[axis]; c += step {
+			walk(axis+1, base+c*strides[axis])
+		}
+	}
+	walk(0, 0)
+}
+
+// correctLine solves the 1D projection system on one line and applies the
+// correction to the coarse nodes (positions 0, 2s, 4s, ... < n).
+func correctLine(data []float64, sym []int32, quant quantizer.Linear,
+	base, stride, n, s int, sign float64) {
+
+	h := float64(2 * s)
+	nodes := (n-1)/(2*s) + 1
+	if nodes < 1 {
+		return
+	}
+
+	detail := func(pos int) float64 {
+		if pos < 0 || pos >= n {
+			return 0
+		}
+		q := sym[base+pos*stride]
+		if q == quantizer.Unpredictable {
+			// Out-of-range points contribute nothing: their stored literal
+			// is the full value, not a detail, and the decompressor must
+			// be able to compute w before recovering any values.
+			return 0
+		}
+		return 2 * float64(quant.Centered(q)) * quant.EB
+	}
+
+	// Load vector.
+	b := make([]float64, nodes)
+	for k := 0; k < nodes; k++ {
+		p := 2 * k * s
+		b[k] = (float64(s) / 2) * (detail(p-s) + detail(p+s))
+	}
+
+	// Thomas solve for tridiagonal M.
+	diag := make([]float64, nodes)
+	for k := range diag {
+		if k == 0 || k == nodes-1 {
+			diag[k] = h / 3
+		} else {
+			diag[k] = 2 * h / 3
+		}
+	}
+	if nodes == 1 {
+		data[base] += sign * b[0] / diag[0]
+		return
+	}
+	off := h / 6
+	// Forward elimination.
+	for k := 1; k < nodes; k++ {
+		m := off / diag[k-1]
+		diag[k] -= m * off
+		b[k] -= m * b[k-1]
+	}
+	// Back substitution.
+	w := b[nodes-1] / diag[nodes-1]
+	data[base+2*(nodes-1)*s*stride] += sign * w
+	for k := nodes - 2; k >= 0; k-- {
+		w = (b[k] - off*w) / diag[k]
+		data[base+2*k*s*stride] += sign * w
+	}
+}

@@ -1,0 +1,134 @@
+package mgard
+
+import (
+	"math"
+	"testing"
+
+	"scdc/internal/quantizer"
+)
+
+// naiveSolve solves a tridiagonal system (diag d, off-diagonal o) by
+// dense Gaussian elimination, as an independent oracle.
+func naiveSolve(d []float64, o float64, b []float64) []float64 {
+	n := len(d)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+		a[i][i] = d[i]
+		if i > 0 {
+			a[i][i-1] = o
+		}
+		if i < n-1 {
+			a[i][i+1] = o
+		}
+		a[i][n] = b[i]
+	}
+	for i := 0; i < n; i++ {
+		p := a[i][i]
+		for j := i; j <= n; j++ {
+			a[i][j] /= p
+		}
+		for k := 0; k < n; k++ {
+			if k == i || a[k][i] == 0 {
+				continue
+			}
+			f := a[k][i]
+			for j := i; j <= n; j++ {
+				a[k][j] -= f * a[i][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = a[i][n]
+	}
+	return x
+}
+
+// TestCorrectLineMatchesOracle: the Thomas solve in correctLine must agree
+// with dense elimination on the documented mass-matrix system.
+func TestCorrectLineMatchesOracle(t *testing.T) {
+	const n, s = 9, 1
+	eb := 0.01
+	quant := quantizer.Linear{EB: eb, Radius: 1 << 10}
+	// Detail symbols at odd positions (centered values 3, -2, 5, 1).
+	sym := make([]int32, n)
+	for i := range sym {
+		sym[i] = quant.CenterSym()
+	}
+	details := map[int]int32{1: 3, 3: -2, 5: 5, 7: 1}
+	for pos, q := range details {
+		sym[pos] = quant.CenterSym() + q
+	}
+
+	// Oracle: b_k = (s/2)(d_{2k-1} + d_{2k+1}); M diag 2h/3 interior, h/3
+	// boundary, off h/6 with h = 2s.
+	dval := func(pos int) float64 {
+		if q, ok := details[pos]; ok {
+			return 2 * float64(q) * eb
+		}
+		return 0
+	}
+	h := float64(2 * s)
+	nodes := 5
+	b := make([]float64, nodes)
+	diag := make([]float64, nodes)
+	for k := 0; k < nodes; k++ {
+		p := 2 * k * s
+		b[k] = (float64(s) / 2) * (dval(p-s) + dval(p+s))
+		if k == 0 || k == nodes-1 {
+			diag[k] = h / 3
+		} else {
+			diag[k] = 2 * h / 3
+		}
+	}
+	want := naiveSolve(diag, h/6, b)
+
+	data := make([]float64, n)
+	correctLine(data, sym, quant, 0, 1, n, s, +1)
+	for k := 0; k < nodes; k++ {
+		if math.Abs(data[2*k]-want[k]) > 1e-12 {
+			t.Fatalf("node %d: got %g want %g", k, data[2*k], want[k])
+		}
+	}
+	// Odd positions untouched.
+	for _, pos := range []int{1, 3, 5, 7} {
+		if data[pos] != 0 {
+			t.Fatalf("detail position %d modified", pos)
+		}
+	}
+	// Applying with sign -1 cancels exactly.
+	correctLine(data, sym, quant, 0, 1, n, s, -1)
+	for i, v := range data {
+		if v != 0 {
+			t.Fatalf("correction did not cancel at %d: %g", i, v)
+		}
+	}
+}
+
+// TestCorrectLineSingleNode covers the degenerate one-node system.
+func TestCorrectLineSingleNode(t *testing.T) {
+	quant := quantizer.Linear{EB: 0.5, Radius: 1 << 8}
+	sym := []int32{quant.CenterSym(), quant.CenterSym() + 4}
+	data := make([]float64, 2)
+	correctLine(data, sym, quant, 0, 1, 2, 1, +1)
+	// b0 = 0.5 * d(1) = 0.5 * 4 * 2 * 0.5 = 2; w = b0/(h/3) = 2/(2/3) = 3.
+	if math.Abs(data[0]-3) > 1e-12 {
+		t.Fatalf("single node w = %g, want 3", data[0])
+	}
+}
+
+// TestUnpredictableDetailsExcluded: unpredictable markers contribute zero
+// to the load vector (the decompressor cannot know their detail value
+// before reconstruction).
+func TestUnpredictableDetailsExcluded(t *testing.T) {
+	quant := quantizer.Linear{EB: 0.5, Radius: 1 << 8}
+	sym := []int32{quant.CenterSym(), quantizer.Unpredictable, quant.CenterSym()}
+	data := make([]float64, 3)
+	correctLine(data, sym, quant, 0, 1, 3, 1, +1)
+	for i, v := range data {
+		if v != 0 {
+			t.Fatalf("unpredictable detail leaked into correction at %d: %g", i, v)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 1000
+		var hits [1000]int32
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZero(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	out := Map(100, 4, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapSerial(t *testing.T) {
+	out := Map(5, 1, func(i int) string { return string(rune('a' + i)) })
+	if out[4] != "e" {
+		t.Fatalf("out = %v", out)
+	}
+}

@@ -1,0 +1,218 @@
+// Package plot renders simple line/scatter charts as standalone SVG —
+// enough to draw the paper's rate-distortion (Figures 10–15) and scaling
+// (Figure 18) plots from experiment output without any dependency.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrEmpty reports a chart with no drawable data.
+var ErrEmpty = errors.New("plot: no data")
+
+// Series is one polyline with markers.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Dashed draws a dashed line (used for the +QP variants).
+	Dashed bool
+}
+
+// Chart is a 2D chart description.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX plots the X axis on a log10 scale (bit-rate sweeps span decades).
+	LogX   bool
+	LogY   bool
+	Width  int // pixels; 0 selects 640
+	Height int // pixels; 0 selects 420
+	Series []Series
+}
+
+// palette holds distinguishable line colors (colorblind-safe-ish).
+var palette = []string{
+	"#1b6ca8", "#d1495b", "#3d8361", "#8d5b9c", "#c77f28", "#4f4f4f", "#19a7ce", "#9a3b3b",
+}
+
+// SVG renders the chart.
+func (c Chart) SVG() ([]byte, error) {
+	w, h := c.Width, c.Height
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 420
+	}
+	const (
+		marginL = 64
+		marginR = 16
+		marginT = 36
+		marginB = 48
+	)
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+
+	tx := func(v float64) (float64, error) {
+		if c.LogX {
+			if v <= 0 {
+				return 0, fmt.Errorf("plot: non-positive x %g on log axis", v)
+			}
+			v = math.Log10(v)
+		}
+		return v, nil
+	}
+	ty := func(v float64) (float64, error) {
+		if c.LogY {
+			if v <= 0 {
+				return 0, fmt.Errorf("plot: non-positive y %g on log axis", v)
+			}
+			v = math.Log10(v)
+		}
+		return v, nil
+	}
+
+	// Data bounds in transformed space.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return nil, fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, err := tx(s.X[i])
+			if err != nil {
+				return nil, err
+			}
+			y, err := ty(s.Y[i])
+			if err != nil {
+				return nil, err
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			points++
+		}
+	}
+	if points == 0 {
+		return nil, ErrEmpty
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	px := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" text-anchor="middle">%s</text>`+"\n", w/2, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		marginL, float64(marginT)+plotH, w-marginR, float64(marginT)+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, float64(marginT)+plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW/2), h-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		marginT+int(plotH/2), marginT+int(plotH/2), esc(c.YLabel))
+
+	// Ticks.
+	for _, t := range ticks(minX, maxX, 6) {
+		X := px(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc"/>`+"\n",
+			X, float64(marginT), X, float64(marginT)+plotH)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+			X, float64(marginT)+plotH+16, tickLabel(t, c.LogX))
+	}
+	for _, t := range ticks(minY, maxY, 6) {
+		Y := py(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#ccc"/>`+"\n",
+			marginL, Y, w-marginR, Y)
+		fmt.Fprintf(&b, `<text x="%d" y="%g" text-anchor="end">%s</text>`+"\n",
+			marginL-6, Y+4, tickLabel(t, c.LogY))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		var pts []string
+		for i := range s.X {
+			x, _ := tx(s.X[i])
+			y, _ := ty(s.Y[i])
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(x), py(y)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"%s/>`+"\n",
+				strings.Join(pts, " "), color, dash)
+		}
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.6" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+		// Legend entry.
+		ly := marginT + 8 + si*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n",
+			w-marginR-120, ly, w-marginR-96, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", w-marginR-90, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return []byte(b.String()), nil
+}
+
+// ticks picks ~n round tick positions across [lo, hi] (transformed space).
+func ticks(lo, hi float64, n int) []float64 {
+	span := hi - lo
+	if span <= 0 || n < 2 {
+		return []float64{lo}
+	}
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+1e-12; t += step {
+		out = append(out, t)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// tickLabel formats a tick value; on log axes the value is an exponent.
+func tickLabel(t float64, log bool) string {
+	if log {
+		return fmt.Sprintf("1e%g", t)
+	}
+	if t == math.Trunc(t) && math.Abs(t) < 1e6 {
+		return fmt.Sprintf("%g", t)
+	}
+	return fmt.Sprintf("%.3g", t)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

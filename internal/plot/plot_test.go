@@ -1,0 +1,94 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func validChart() Chart {
+	return Chart{
+		Title:  "Rate-distortion <test>",
+		XLabel: "bit-rate",
+		YLabel: "PSNR",
+		Series: []Series{
+			{Name: "SZ3", X: []float64{0.5, 1, 2, 4}, Y: []float64{60, 70, 80, 90}},
+			{Name: "SZ3+QP", X: []float64{0.4, 0.9, 1.8, 3.8}, Y: []float64{60, 70, 80, 90}, Dashed: true},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg, err := validChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	s := string(svg)
+	for _, want := range []string{"<svg", "polyline", "SZ3+QP", "bit-rate", "&lt;test&gt;"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestLogAxes(t *testing.T) {
+	c := validChart()
+	c.LogX = true
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "1e") {
+		t.Error("log tick labels missing")
+	}
+	// Non-positive values on a log axis must error.
+	c.Series[0].X[0] = 0
+	if _, err := c.SVG(); err == nil {
+		t.Error("zero on log axis accepted")
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	if _, err := (Chart{}).SVG(); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMismatchedSeries(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "p", X: []float64{3}, Y: []float64{4}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "circle") {
+		t.Error("marker missing")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	ts := ticks(0, 10, 6)
+	if len(ts) < 4 || ts[0] < 0 || ts[len(ts)-1] > 10.0001 {
+		t.Fatalf("ticks = %v", ts)
+	}
+	if got := ticks(5, 5, 6); len(got) != 1 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+}

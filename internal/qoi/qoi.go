@@ -1,0 +1,188 @@
+// Package qoi evaluates quantities of interest (QoIs) on original and
+// decompressed fields and checks them against the bounds that pointwise
+// error control implies. The paper's Table I lists QoI support as a
+// distinguishing capability of MGARD and SZ3; for the linear QoIs below,
+// a pointwise bound eb propagates to closed-form QoI bounds, so any
+// error-bounded compressor in this repository preserves them:
+//
+//   - a regional average of pointwise-bounded values errs by at most eb;
+//   - a unit-spacing finite-difference derivative errs by at most eb at
+//     interior points (central difference) and 2*eb at the boundary
+//     (one-sided difference);
+//   - a weighted linear functional errs by at most eb * sum|w| / |sum w|
+//     in normalized form, or eb * sum|w| raw.
+package qoi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"scdc/internal/grid"
+)
+
+// ErrMismatch reports incompatible fields.
+var ErrMismatch = errors.New("qoi: field mismatch")
+
+// Region is a rectangular index region, half-open per axis.
+type Region struct {
+	Lo, Hi []int
+}
+
+// valid clips and checks the region against dims.
+func (r Region) valid(dims []int) error {
+	if len(r.Lo) != len(dims) || len(r.Hi) != len(dims) {
+		return fmt.Errorf("%w: region rank %d/%d vs dims %d", ErrMismatch, len(r.Lo), len(r.Hi), len(dims))
+	}
+	for d := range dims {
+		if r.Lo[d] < 0 || r.Hi[d] > dims[d] || r.Lo[d] >= r.Hi[d] {
+			return fmt.Errorf("%w: region axis %d [%d,%d) of %d", ErrMismatch, d, r.Lo[d], r.Hi[d], dims[d])
+		}
+	}
+	return nil
+}
+
+// Average computes the mean of the field over the region.
+func Average(f *grid.Field, r Region) (float64, error) {
+	if err := r.valid(f.Dims()); err != nil {
+		return 0, err
+	}
+	sum, n := 0.0, 0
+	var walk func(axis, base int)
+	walk = func(axis, base int) {
+		if axis == f.NDims() {
+			sum += f.Data[base]
+			n++
+			return
+		}
+		for c := r.Lo[axis]; c < r.Hi[axis]; c++ {
+			walk(axis+1, base+c*f.Stride(axis))
+		}
+	}
+	walk(0, 0)
+	return sum / float64(n), nil
+}
+
+// AverageErrorBound is the guaranteed bound on the regional-average error
+// under pointwise bound eb: the mean of values each within eb errs by at
+// most eb.
+func AverageErrorBound(eb float64) float64 { return eb }
+
+// Derivative computes the central-difference derivative along axis at the
+// given coordinates (one-sided at the boundary), with unit grid spacing.
+func Derivative(f *grid.Field, axis int, coord []int) (float64, error) {
+	dims := f.Dims()
+	if len(coord) != len(dims) || axis < 0 || axis >= len(dims) {
+		return 0, fmt.Errorf("%w: coord %v axis %d", ErrMismatch, coord, axis)
+	}
+	for d, c := range coord {
+		if c < 0 || c >= dims[d] {
+			return 0, fmt.Errorf("%w: coord %v out of %v", ErrMismatch, coord, dims)
+		}
+	}
+	idx := f.Index(coord...)
+	s := f.Stride(axis)
+	c := coord[axis]
+	switch {
+	case dims[axis] == 1:
+		return 0, nil
+	case c == 0:
+		return f.Data[idx+s] - f.Data[idx], nil
+	case c == dims[axis]-1:
+		return f.Data[idx] - f.Data[idx-s], nil
+	default:
+		return (f.Data[idx+s] - f.Data[idx-s]) / 2, nil
+	}
+}
+
+// DerivativeErrorBound is the guaranteed finite-difference derivative
+// error under pointwise bound eb and unit spacing: |(e1 - e2)/2| <= eb at
+// interior points, |e1 - e2| <= 2*eb for the one-sided boundary stencils.
+func DerivativeErrorBound(eb float64) float64 { return 2 * eb }
+
+// Linear computes the weighted functional sum(w_i * f_i) over the whole
+// field. len(w) must equal f.Len().
+func Linear(f *grid.Field, w []float64) (float64, error) {
+	if len(w) != f.Len() {
+		return 0, fmt.Errorf("%w: %d weights for %d samples", ErrMismatch, len(w), f.Len())
+	}
+	sum := 0.0
+	for i, v := range f.Data {
+		sum += w[i] * v
+	}
+	return sum, nil
+}
+
+// LinearErrorBound is the guaranteed bound for the weighted functional
+// under pointwise bound eb: eb * sum|w_i|.
+func LinearErrorBound(eb float64, w []float64) float64 {
+	s := 0.0
+	for _, v := range w {
+		s += math.Abs(v)
+	}
+	return eb * s
+}
+
+// Report holds QoI errors of a decompressed field against the original.
+type Report struct {
+	AvgErr      float64 // |avg(orig) - avg(dec)| over the whole field
+	AvgBound    float64
+	MaxDerivErr float64 // max central-difference error over sampled points
+	DerivBound  float64
+}
+
+// Check evaluates standard QoIs on both fields under the pointwise bound
+// eb and verifies the closed-form guarantees.
+func Check(orig, dec *grid.Field, eb float64) (Report, error) {
+	var rep Report
+	if orig.Len() != dec.Len() || orig.NDims() != dec.NDims() {
+		return rep, fmt.Errorf("%w: %v vs %v", ErrMismatch, orig.Dims(), dec.Dims())
+	}
+	dims := orig.Dims()
+	full := Region{Lo: make([]int, len(dims)), Hi: append([]int(nil), dims...)}
+	ao, err := Average(orig, full)
+	if err != nil {
+		return rep, err
+	}
+	ad, err := Average(dec, full)
+	if err != nil {
+		return rep, err
+	}
+	rep.AvgErr = math.Abs(ao - ad)
+	rep.AvgBound = AverageErrorBound(eb)
+
+	// Sample derivatives on a coarse lattice along every axis.
+	coord := make([]int, len(dims))
+	var walk func(axis int) error
+	walk = func(axis int) error {
+		if axis == len(dims) {
+			for d := 0; d < len(dims); d++ {
+				do, err := Derivative(orig, d, coord)
+				if err != nil {
+					return err
+				}
+				dd, err := Derivative(dec, d, coord)
+				if err != nil {
+					return err
+				}
+				if e := math.Abs(do - dd); e > rep.MaxDerivErr {
+					rep.MaxDerivErr = e
+				}
+			}
+			return nil
+		}
+		step := dims[axis]/7 + 1
+		for c := 0; c < dims[axis]; c += step {
+			coord[axis] = c
+			if err := walk(axis + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return rep, err
+	}
+	rep.DerivBound = DerivativeErrorBound(eb)
+	return rep, nil
+}

@@ -1,0 +1,144 @@
+package qoi
+
+import (
+	"math"
+	"testing"
+
+	"scdc/internal/datagen"
+	"scdc/internal/grid"
+	"scdc/internal/mgard"
+	"scdc/internal/sz3"
+)
+
+func ramp3() *grid.Field {
+	f := grid.MustNew(4, 5, 6)
+	for i := range f.Data {
+		f.Data[i] = float64(i)
+	}
+	return f
+}
+
+func TestAverage(t *testing.T) {
+	f := ramp3()
+	full := Region{Lo: []int{0, 0, 0}, Hi: []int{4, 5, 6}}
+	avg, err := Average(f, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != float64(4*5*6-1)/2 {
+		t.Fatalf("avg = %g", avg)
+	}
+	sub := Region{Lo: []int{1, 1, 1}, Hi: []int{2, 2, 2}}
+	avg, err = Average(f, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != f.At(1, 1, 1) {
+		t.Fatalf("single-cell avg = %g", avg)
+	}
+	if _, err := Average(f, Region{Lo: []int{0, 0, 0}, Hi: []int{9, 9, 9}}); err == nil {
+		t.Error("oversized region accepted")
+	}
+	if _, err := Average(f, Region{Lo: []int{0}, Hi: []int{1}}); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	// f = 3x along axis 0.
+	f := grid.MustNew(5, 2, 2)
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 2; y++ {
+			for z := 0; z < 2; z++ {
+				f.Set(3*float64(x), x, y, z)
+			}
+		}
+	}
+	for _, c := range [][]int{{0, 0, 0}, {2, 1, 1}, {4, 0, 1}} {
+		d, err := Derivative(f, 0, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d-3) > 1e-12 {
+			t.Fatalf("d/dx at %v = %g", c, d)
+		}
+	}
+	d, err := Derivative(f, 1, []int{2, 0, 0})
+	if err != nil || d != 0 {
+		t.Fatalf("d/dy = %g err=%v", d, err)
+	}
+	if _, err := Derivative(f, 3, []int{0, 0, 0}); err == nil {
+		t.Error("bad axis accepted")
+	}
+	if _, err := Derivative(f, 0, []int{9, 0, 0}); err == nil {
+		t.Error("out-of-range coord accepted")
+	}
+}
+
+func TestLinear(t *testing.T) {
+	f := ramp3()
+	w := make([]float64, f.Len())
+	w[3] = 2
+	w[7] = -1
+	v, err := Linear(f, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2*3-7 {
+		t.Fatalf("linear = %g", v)
+	}
+	if b := LinearErrorBound(0.5, w); b != 1.5 {
+		t.Fatalf("bound = %g", b)
+	}
+	if _, err := Linear(f, w[:5]); err == nil {
+		t.Error("short weights accepted")
+	}
+}
+
+// TestGuaranteesHold: the closed-form QoI bounds must hold for real
+// compressions across the error-bounded compressors.
+func TestGuaranteesHold(t *testing.T) {
+	f := datagen.MustGenerate(datagen.CESM, 0, []int{20, 36, 40}, 6)
+	eb := f.Range() * 1e-3
+
+	check := func(name string, dec *grid.Field) {
+		rep, err := Check(f, dec, eb)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.AvgErr > rep.AvgBound {
+			t.Errorf("%s: average QoI bound violated: %g > %g", name, rep.AvgErr, rep.AvgBound)
+		}
+		if rep.MaxDerivErr > rep.DerivBound {
+			t.Errorf("%s: derivative QoI bound violated: %g > %g", name, rep.MaxDerivErr, rep.DerivBound)
+		}
+	}
+
+	ps, err := sz3.Compress(f, sz3.DefaultOptions(eb).WithQP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := sz3.Decompress(ps, f.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("sz3+qp", ds)
+
+	pm, err := mgard.Compress(f, mgard.DefaultOptions(eb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := mgard.Decompress(pm, f.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("mgard", dm)
+}
+
+func TestCheckMismatch(t *testing.T) {
+	a := grid.MustNew(2, 2)
+	b := grid.MustNew(5)
+	if _, err := Check(a, b, 1e-3); err == nil {
+		t.Error("mismatched fields accepted")
+	}
+}

@@ -1,0 +1,303 @@
+// Package qoz is a from-scratch Go reimplementation of QoZ (Liu et al.,
+// SC 2022), the quality-oriented successor of SZ3 and the second base
+// compressor of the paper.
+//
+// QoZ extends the SZ3 interpolation pipeline with:
+//
+//   - an anchor grid: points on the coarsest lattice are stored losslessly,
+//     improving top-level predictions;
+//   - per-level auto-tuning of the interpolation (spline kind and
+//     direction order are chosen per level from sampled residuals);
+//   - tuned level-wise error bounds: coarse levels may be compressed with
+//     a tighter bound eb_l = max(eb/alpha^(l-1), eb/beta), which improves
+//     the predictions for (and hence shrinks) the much larger finer
+//     levels; (alpha, beta) is selected by trial compression of a sampled
+//     block.
+//
+// QoZ never switches to Lorenzo (paper Section VI-C), so QP is always
+// applicable.
+package qoz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"scdc/internal/core"
+	"scdc/internal/grid"
+	"scdc/internal/huffman"
+	"scdc/internal/interp"
+	"scdc/internal/lossless"
+	"scdc/internal/quantizer"
+	"scdc/internal/sz3"
+)
+
+// ErrCorrupt reports a malformed QoZ payload.
+var ErrCorrupt = errors.New("qoz: corrupt stream")
+
+// ErrBadOptions reports invalid compression options.
+var ErrBadOptions = errors.New("qoz: invalid options")
+
+// maxAnchorLevels caps the interpolation depth; the anchor lattice sits at
+// stride 2^levels (QoZ's default anchor stride is 64).
+const maxAnchorLevels = 6
+
+// Options configures compression.
+type Options struct {
+	// ErrorBound is the absolute error bound (required, > 0).
+	ErrorBound float64
+	// QP configures quantization index prediction. Zero value = off.
+	QP core.Config
+	// Radius is the quantization radius; 0 selects 2^15.
+	Radius int32
+	// Lossless selects the final back-end. Default Flate.
+	Lossless lossless.Codec
+	// Tune enables the auto-tuner. When false, QoZ behaves like SZ3 with
+	// an anchor grid (cubic, default order, alpha=1).
+	Tune bool
+	// Trace optionally captures internals for characterization.
+	Trace *sz3.Trace
+}
+
+// DefaultOptions returns the default tuned configuration.
+func DefaultOptions(eb float64) Options {
+	return Options{ErrorBound: eb, Radius: quantizer.DefaultRadius, Lossless: lossless.Flate, Tune: true}
+}
+
+// WithQP returns a copy of o with the paper's best-fit QP configuration.
+func (o Options) WithQP() Options {
+	o.QP = core.Default()
+	return o
+}
+
+func (o *Options) normalize() error {
+	if !(o.ErrorBound > 0) || math.IsInf(o.ErrorBound, 0) {
+		return fmt.Errorf("%w: error bound must be positive and finite", ErrBadOptions)
+	}
+	if o.Radius == 0 {
+		o.Radius = quantizer.DefaultRadius
+	}
+	if o.Radius < 2 {
+		return fmt.Errorf("%w: radius must be >= 2", ErrBadOptions)
+	}
+	if o.Lossless == 0 {
+		o.Lossless = lossless.Flate
+	}
+	if err := o.QP.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	return nil
+}
+
+// plan is the fully resolved compression plan, serialized in the stream
+// header so decompression replays it exactly.
+type plan struct {
+	levels int
+	// Per level (index level-1): spline kind, direction order, error bound.
+	kinds  []interp.Kind
+	orders [][]int
+	ebs    []float64
+	radius int32
+	qp     core.Config
+}
+
+// Compress compresses field f under the given options.
+func Compress(f *grid.Field, opts Options) ([]byte, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	pl := buildPlan(f, opts)
+
+	data := append([]float64(nil), f.Data...)
+	q := make([]int32, len(data))
+	var qp []int32
+	var pred *core.Predictor
+	var err error
+	if opts.QP.Enabled() {
+		pred, err = core.NewPredictor(opts.QP, opts.Radius)
+		if err != nil {
+			return nil, err
+		}
+		qp = make([]int32, len(data))
+	}
+
+	anchors, literals := compressCore(data, f.Dims(), pl, q, qp, pred)
+
+	if opts.Trace != nil {
+		opts.Trace.Mode = sz3.ModeInterp
+		opts.Trace.Levels = pl.levels
+		opts.Trace.Q = append(opts.Trace.Q[:0], q...)
+		if qp != nil {
+			opts.Trace.QP = append(opts.Trace.QP[:0], qp...)
+			opts.Trace.Compensated = pred.Compensated
+		}
+	}
+
+	huff, kept := core.ChooseEncoding(q, qp)
+	if !kept {
+		pl.qp = core.Config{}
+	}
+
+	buf := encodePlan(pl, f.NDims())
+	buf = binary.AppendUvarint(buf, uint64(len(anchors)))
+	for _, v := range anchors {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(huff)))
+	buf = append(buf, huff...)
+	buf = binary.AppendUvarint(buf, uint64(len(literals)))
+	for _, v := range literals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return lossless.Compress(opts.Lossless, buf)
+}
+
+func encodePlan(pl plan, nd int) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(pl.qp.Mode), byte(pl.qp.Cond))
+	buf = binary.AppendUvarint(buf, uint64(maxInt(pl.qp.MaxLevel, 0)))
+	buf = binary.AppendUvarint(buf, uint64(pl.radius))
+	buf = binary.AppendUvarint(buf, uint64(pl.levels))
+	for l := 0; l < pl.levels; l++ {
+		buf = append(buf, byte(pl.kinds[l]), byte(len(pl.orders[l])))
+		for _, d := range pl.orders[l] {
+			buf = append(buf, byte(d))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pl.ebs[l]))
+	}
+	return buf
+}
+
+func decodePlan(buf []byte, nd int) (plan, []byte, error) {
+	var pl plan
+	if len(buf) < 2 {
+		return pl, nil, fmt.Errorf("%w: short plan", ErrCorrupt)
+	}
+	pl.qp = core.Config{Mode: core.Mode(buf[0]), Cond: core.Cond(buf[1])}
+	buf = buf[2:]
+	ml, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return pl, nil, fmt.Errorf("%w: bad qp level", ErrCorrupt)
+	}
+	pl.qp.MaxLevel = int(ml)
+	buf = buf[k:]
+	if err := pl.qp.Validate(); err != nil {
+		return pl, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	radius, k := binary.Uvarint(buf)
+	if k <= 0 || radius < 2 || radius > 1<<30 {
+		return pl, nil, fmt.Errorf("%w: bad radius", ErrCorrupt)
+	}
+	pl.radius = int32(radius)
+	buf = buf[k:]
+	levels, k := binary.Uvarint(buf)
+	if k <= 0 || levels > 62 {
+		return pl, nil, fmt.Errorf("%w: bad level count", ErrCorrupt)
+	}
+	pl.levels = int(levels)
+	buf = buf[k:]
+	for l := 0; l < pl.levels; l++ {
+		if len(buf) < 2 {
+			return pl, nil, fmt.Errorf("%w: short plan level", ErrCorrupt)
+		}
+		kind := interp.Kind(buf[0])
+		on := int(buf[1])
+		buf = buf[2:]
+		if on != nd || len(buf) < on+8 {
+			return pl, nil, fmt.Errorf("%w: bad plan order", ErrCorrupt)
+		}
+		order := make([]int, on)
+		seen := make([]bool, on)
+		for i := range order {
+			order[i] = int(buf[i])
+			if order[i] >= nd || seen[order[i]] {
+				return pl, nil, fmt.Errorf("%w: bad plan order", ErrCorrupt)
+			}
+			seen[order[i]] = true
+		}
+		buf = buf[on:]
+		eb := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+		if !(eb > 0) || math.IsInf(eb, 0) {
+			return pl, nil, fmt.Errorf("%w: bad plan eb", ErrCorrupt)
+		}
+		pl.kinds = append(pl.kinds, kind)
+		pl.orders = append(pl.orders, order)
+		pl.ebs = append(pl.ebs, eb)
+	}
+	return pl, buf, nil
+}
+
+// Decompress reconstructs a field with the given dims from a QoZ payload.
+func Decompress(payload []byte, dims []int) (*grid.Field, error) {
+	n, err := grid.CheckDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := lossless.Decompress(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	pl, buf, err := decodePlan(buf, len(dims))
+	if err != nil {
+		return nil, err
+	}
+
+	na, k := binary.Uvarint(buf)
+	if k <= 0 || na > uint64((len(buf)-k)/8) {
+		return nil, fmt.Errorf("%w: bad anchor count", ErrCorrupt)
+	}
+	buf = buf[k:]
+	anchors := make([]float64, na)
+	for i := range anchors {
+		anchors[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	buf = buf[int(na)*8:]
+
+	hl, k := binary.Uvarint(buf)
+	if k <= 0 || hl > uint64(len(buf)-k) {
+		return nil, fmt.Errorf("%w: bad huffman length", ErrCorrupt)
+	}
+	buf = buf[k:]
+	enc, err := huffman.Decode(buf[:hl])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	buf = buf[hl:]
+	if len(enc) != n {
+		return nil, fmt.Errorf("%w: %d symbols for %d points", ErrCorrupt, len(enc), n)
+	}
+	nl, k := binary.Uvarint(buf)
+	if k <= 0 || nl > uint64((len(buf)-k)/8) {
+		return nil, fmt.Errorf("%w: bad literal count", ErrCorrupt)
+	}
+	buf = buf[k:]
+	literals := make([]float64, nl)
+	for i := range literals {
+		literals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+
+	out, err := grid.New(dims...)
+	if err != nil {
+		return nil, err
+	}
+	var pred *core.Predictor
+	if pl.qp.Enabled() {
+		pred, err = core.NewPredictor(pl.qp, pl.radius)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	if err := decompressCore(out.Data, dims, pl, enc, anchors, literals, pred); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

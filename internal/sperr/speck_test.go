@@ -1,0 +1,124 @@
+package sperr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func speckRT(t *testing.T, q []int32, px, py, pz int) {
+	t.Helper()
+	enc := speckEncode(q, px, py, pz)
+	dec, err := speckDecode(enc, px, py, pz)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range q {
+		if dec[i] != q[i] {
+			t.Fatalf("mismatch at %d: %d != %d", i, dec[i], q[i])
+		}
+	}
+}
+
+func TestSpeckZero(t *testing.T) {
+	speckRT(t, make([]int32, 4*4*4), 4, 4, 4)
+	enc := speckEncode(make([]int32, 64), 4, 4, 4)
+	if len(enc) > 1 {
+		t.Fatalf("zero volume costs %d bytes", len(enc))
+	}
+}
+
+func TestSpeckSingleSpike(t *testing.T) {
+	q := make([]int32, 8*8*8)
+	q[123] = -1 << 20
+	speckRT(t, q, 8, 8, 8)
+	enc := speckEncode(q, 8, 8, 8)
+	// One spike should cost far less than a dense code.
+	if len(enc) > 64 {
+		t.Fatalf("single spike costs %d bytes", len(enc))
+	}
+}
+
+func TestSpeckDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := make([]int32, 6*10*14)
+	for i := range q {
+		q[i] = int32(rng.Intn(2001) - 1000)
+	}
+	speckRT(t, q, 6, 10, 14)
+}
+
+func TestSpeckSparseBeatsHuffmanStructure(t *testing.T) {
+	// A wavelet-like field: mostly zero with clustered large values.
+	q := make([]int32, 32*32*32)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		x, y, z := rng.Intn(8), rng.Intn(8), rng.Intn(8)
+		q[(x*32+y)*32+z] = int32(rng.Intn(4000) - 2000)
+	}
+	speckRT(t, q, 32, 32, 32)
+}
+
+func TestSpeckDegenerateShapes(t *testing.T) {
+	for _, d := range [][3]int{{1, 1, 1}, {1, 1, 7}, {1, 9, 1}, {5, 1, 1}, {2, 3, 1}, {1, 4, 4}} {
+		n := d[0] * d[1] * d[2]
+		q := make([]int32, n)
+		for i := range q {
+			q[i] = int32(i*i%37 - 18)
+		}
+		speckRT(t, q, d[0], d[1], d[2])
+	}
+}
+
+func TestSpeckExtremes(t *testing.T) {
+	q := make([]int32, 2*2*2)
+	q[0] = 1 << 30
+	q[7] = -(1 << 30)
+	q[3] = 1
+	speckRT(t, q, 2, 2, 2)
+}
+
+func TestSpeckCorrupt(t *testing.T) {
+	q := make([]int32, 4*4*4)
+	for i := range q {
+		q[i] = int32(i % 5)
+	}
+	enc := speckEncode(q, 4, 4, 4)
+	if _, err := speckDecode(enc[:1], 4, 4, 4); err == nil && len(enc) > 2 {
+		t.Error("truncated speck stream accepted")
+	}
+	bad := []byte{0xFF} // planes > 32
+	if _, err := speckDecode(bad, 4, 4, 4); err == nil {
+		t.Error("bad plane count accepted")
+	}
+}
+
+// TestQuickSpeck property: arbitrary small volumes round-trip.
+func TestQuickSpeck(t *testing.T) {
+	f := func(vals []int32, a, b, c uint8) bool {
+		px, py, pz := int(a%5)+1, int(b%5)+1, int(c%5)+1
+		n := px * py * pz
+		q := make([]int32, n)
+		for i := 0; i < n && i < len(vals); i++ {
+			v := vals[i]
+			if v == -1<<31 {
+				v = -1 << 30 // |min int32| overflows the magnitude domain
+			}
+			q[i] = v
+		}
+		enc := speckEncode(q, px, py, pz)
+		dec, err := speckDecode(enc, px, py, pz)
+		if err != nil {
+			return false
+		}
+		for i := range q {
+			if dec[i] != q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package sz3
+
+import (
+	"fmt"
+
+	"scdc/internal/core"
+
+	"scdc/internal/predictor"
+	"scdc/internal/quantizer"
+)
+
+// view3 normalizes 1..4-dimensional dims to (blocks, nx, ny, nz): leading
+// dims collapse into independent 3D blocks, and missing dims become
+// extent-1 axes. The Lorenzo scan treats each block independently, which
+// matches how the paper processes the 4D RTM data (independent 3D slices).
+func view3(dims []int) (blocks, nx, ny, nz int) {
+	switch len(dims) {
+	case 1:
+		return 1, 1, 1, dims[0]
+	case 2:
+		return 1, 1, dims[0], dims[1]
+	case 3:
+		return 1, dims[0], dims[1], dims[2]
+	default:
+		return dims[0], dims[1], dims[2], dims[3]
+	}
+}
+
+// lorenzoNeighborhood builds the QP neighborhood for a scan-order point:
+// left/top are the previous points along the two fastest axes (a stride-1
+// plane), back is the previous plane. This is the "generalized design for
+// compressors besides interpolation-based ones" the paper lists as future
+// work (Section VII); the scan-order geometry replaces the level-wise
+// plane geometry.
+func lorenzoNeighborhood(idx, i, j, k, ny, nz int) core.Neighborhood {
+	nb := core.Neighborhood{
+		Level: 1,
+		Left:  -1, Top: -1, TopLeft: -1,
+		Back: -1, BackLeft: -1, BackTop: -1, BackTopLeft: -1,
+	}
+	if k > 0 {
+		nb.Left = idx - 1
+	}
+	if j > 0 {
+		nb.Top = idx - nz
+	}
+	if j > 0 && k > 0 {
+		nb.TopLeft = idx - nz - 1
+	}
+	if i > 0 {
+		nb.Back = idx - ny*nz
+		if k > 0 {
+			nb.BackLeft = nb.Back - 1
+		}
+		if j > 0 {
+			nb.BackTop = nb.Back - nz
+		}
+		if j > 0 && k > 0 {
+			nb.BackTopLeft = nb.Back - nz - 1
+		}
+	}
+	return nb
+}
+
+// compressLorenzo runs the 3D Lorenzo fallback pipeline: scan in natural
+// order, predict from the seven processed neighbors (decompressed values),
+// quantize. The paper's QP is not applied in this mode (Lorenzo residual
+// indices do not show the clustering effect, Section VI-B); the optional
+// qp/pred arguments implement the paper's future-work extension of QP to
+// non-interpolation pipelines, protected by the adaptive fallback.
+func compressLorenzo(data []float64, dims []int, quant quantizer.Linear, q, qp []int32, pred *core.Predictor) []float64 {
+	var literals []float64
+	blocks, nx, ny, nz := view3(dims)
+	bsz := nx * ny * nz
+	for b := 0; b < blocks; b++ {
+		f := predictor.Field3{Data: data[b*bsz : (b+1)*bsz], Nx: nx, Ny: ny, Nz: nz}
+		idx := b * bsz
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				for k := 0; k < nz; k++ {
+					p := f.Predict(i, j, k)
+					sym, dec, ok := quant.Quantize(data[idx], p)
+					q[idx] = sym
+					if !ok {
+						literals = append(literals, data[idx])
+					}
+					data[idx] = dec
+					if qp != nil {
+						qp[idx] = q[idx] - pred.Compensate(q, lorenzoNeighborhood(idx, i, j, k, ny, nz))
+					}
+					idx++
+				}
+			}
+		}
+	}
+	return literals
+}
+
+// decompressLorenzo reverses compressLorenzo. enc is overwritten in place
+// with recovered original symbols when QP is active.
+func decompressLorenzo(data []float64, dims []int, quant quantizer.Linear, enc []int32, literals []float64, pred *core.Predictor) error {
+	blocks, nx, ny, nz := view3(dims)
+	bsz := nx * ny * nz
+	lit := 0
+	for b := 0; b < blocks; b++ {
+		f := predictor.Field3{Data: data[b*bsz : (b+1)*bsz], Nx: nx, Ny: ny, Nz: nz}
+		idx := b * bsz
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				for k := 0; k < nz; k++ {
+					p := f.Predict(i, j, k)
+					sym := enc[idx]
+					if pred != nil {
+						sym += pred.Compensate(enc, lorenzoNeighborhood(idx, i, j, k, ny, nz))
+						enc[idx] = sym
+					}
+					if sym == quantizer.Unpredictable {
+						if lit >= len(literals) {
+							return fmt.Errorf("%w: literal stream exhausted", ErrCorrupt)
+						}
+						data[idx] = literals[lit]
+						lit++
+					} else {
+						data[idx] = quant.Recover(p, sym)
+					}
+					idx++
+				}
+			}
+		}
+	}
+	if lit != len(literals) {
+		return fmt.Errorf("%w: %d unused literals", ErrCorrupt, len(literals)-lit)
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+// Package sz3 is a from-scratch Go reimplementation of the SZ3
+// interpolation-based error-bounded lossy compressor (Zhao et al., ICDE
+// 2021; Liang et al., TBD 2022), the primary base compressor of the paper.
+//
+// Pipeline: multilevel spline interpolation for decorrelation, linear-
+// scaling quantization, canonical Huffman entropy coding, and a lossless
+// back-end — with the paper's QP stage (internal/core) optionally
+// intercepting the quantization index array between quantization and
+// encoding (Algorithm 1).
+//
+// Like the original, the compressor switches to a 3D Lorenzo predictor at
+// small error bounds when a sampled estimate says Lorenzo will outperform
+// interpolation; QP is not invoked in Lorenzo mode (paper Section VI-C).
+package sz3
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"scdc/internal/core"
+	"scdc/internal/grid"
+	"scdc/internal/huffman"
+	"scdc/internal/interp"
+	"scdc/internal/lossless"
+	"scdc/internal/quantizer"
+)
+
+// Mode identifies the predictor actually used in a compressed stream.
+type Mode byte
+
+const (
+	// ModeInterp is multilevel interpolation.
+	ModeInterp Mode = 0
+	// ModeLorenzo is the 3D Lorenzo fallback.
+	ModeLorenzo Mode = 1
+)
+
+// Choice controls predictor selection at compression time.
+type Choice byte
+
+const (
+	// ChoiceAuto estimates both predictors on samples and picks the better,
+	// like the SZ3 auto-selection.
+	ChoiceAuto Choice = 0
+	// ChoiceInterp forces interpolation.
+	ChoiceInterp Choice = 1
+	// ChoiceLorenzo forces Lorenzo.
+	ChoiceLorenzo Choice = 2
+)
+
+// ErrCorrupt reports a malformed SZ3 payload.
+var ErrCorrupt = errors.New("sz3: corrupt stream")
+
+// ErrBadOptions reports invalid compression options.
+var ErrBadOptions = errors.New("sz3: invalid options")
+
+// Options configures compression.
+type Options struct {
+	// ErrorBound is the absolute error bound (required, > 0).
+	ErrorBound float64
+	// Interp selects linear or cubic interpolation. Default cubic.
+	Interp interp.Kind
+	// QP configures quantization index prediction. Zero value = off.
+	QP core.Config
+	// Radius is the quantization radius; 0 selects the SZ3 default 2^15.
+	Radius int32
+	// Lossless selects the final lossless back-end. Default Flate.
+	Lossless lossless.Codec
+	// Choice controls interpolation/Lorenzo selection. Default auto.
+	Choice Choice
+	// DirOrder overrides the interpolation direction order (axis indexes).
+	// Nil selects fastest-axis-first.
+	DirOrder []int
+	// ForceQP disables the adaptive fallback that keeps the base index
+	// stream when QP does not pay. Exploration experiments (Figures 7-9)
+	// set it to expose raw per-configuration behavior, including the
+	// degradation of Case I at small bounds.
+	ForceQP bool
+	// QPLorenzo extends QP to the Lorenzo fallback pipeline with a
+	// scan-order neighborhood — the paper's Section VII future-work item.
+	// Off by default (the paper's QP only covers interpolation mode); the
+	// adaptive fallback still guards against regressions when enabled.
+	QPLorenzo bool
+	// Trace, when non-nil, captures internals for characterization.
+	Trace *Trace
+}
+
+// Trace captures compressor internals for the paper's characterization
+// experiments (Figures 3–5).
+type Trace struct {
+	// Q receives the stored quantization symbols (offset by Radius,
+	// 0 = unpredictable), one per data point.
+	Q []int32
+	// QP receives the transformed symbols Q' when QP is enabled.
+	QP []int32
+	// Mode reports the predictor used.
+	Mode Mode
+	// Levels reports the number of interpolation levels.
+	Levels int
+	// Compensated reports how many points received a nonzero compensation.
+	Compensated int
+}
+
+// DefaultOptions returns the default configuration at the given error
+// bound, with QP disabled (enable with WithQP).
+func DefaultOptions(eb float64) Options {
+	return Options{
+		ErrorBound: eb,
+		Interp:     interp.Cubic,
+		Radius:     quantizer.DefaultRadius,
+		Lossless:   lossless.Flate,
+	}
+}
+
+// WithQP returns a copy of o with the paper's best-fit QP configuration
+// enabled.
+func (o Options) WithQP() Options {
+	o.QP = core.Default()
+	return o
+}
+
+func (o *Options) normalize(nd int) error {
+	if !(o.ErrorBound > 0) || math.IsInf(o.ErrorBound, 0) {
+		return fmt.Errorf("%w: error bound must be positive and finite", ErrBadOptions)
+	}
+	if o.Radius == 0 {
+		o.Radius = quantizer.DefaultRadius
+	}
+	if o.Radius < 2 {
+		return fmt.Errorf("%w: radius must be >= 2", ErrBadOptions)
+	}
+	if o.Lossless == 0 {
+		o.Lossless = lossless.Flate
+	}
+	if err := o.QP.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	if o.DirOrder == nil {
+		o.DirOrder = DefaultDirOrder(nd)
+	} else {
+		if len(o.DirOrder) != nd {
+			return fmt.Errorf("%w: DirOrder length %d != ndims %d", ErrBadOptions, len(o.DirOrder), nd)
+		}
+		seen := make([]bool, nd)
+		for _, d := range o.DirOrder {
+			if d < 0 || d >= nd || seen[d] {
+				return fmt.Errorf("%w: DirOrder %v is not a permutation", ErrBadOptions, o.DirOrder)
+			}
+			seen[d] = true
+		}
+	}
+	return nil
+}
+
+// payload header layout (inside the lossless wrapper):
+//
+//	byte   mode
+//	byte   interp kind
+//	byte   ndims, then ndims bytes of dir order
+//	byte   qp mode, byte qp cond, uvarint qp max level
+//	uvarint radius
+//	8 bytes error bound (IEEE754 LE)
+//	uvarint len(huffman stream), huffman bytes
+//	uvarint literal count, literals as 8-byte IEEE754 LE
+
+// Compress compresses field f under the given options.
+func Compress(f *grid.Field, opts Options) ([]byte, error) {
+	if err := opts.normalize(f.NDims()); err != nil {
+		return nil, err
+	}
+	quant, err := quantizer.NewLinear(opts.ErrorBound, opts.Radius)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+
+	mode := ModeInterp
+	switch opts.Choice {
+	case ChoiceLorenzo:
+		mode = ModeLorenzo
+	case ChoiceAuto:
+		if chooseLorenzo(f, opts.ErrorBound, opts.Interp) {
+			mode = ModeLorenzo
+		}
+	}
+
+	data := append([]float64(nil), f.Data...)
+	q := make([]int32, len(data))
+	var literals []float64
+
+	var qp []int32
+	var pred *core.Predictor
+	useQP := opts.QP.Enabled() && (mode == ModeInterp || opts.QPLorenzo)
+	if useQP {
+		pred, err = core.NewPredictor(opts.QP, opts.Radius)
+		if err != nil {
+			return nil, err
+		}
+		qp = make([]int32, len(data))
+	}
+
+	levels := Levels(f.Dims())
+	if mode == ModeInterp {
+		literals = compressInterp(data, f.Dims(), opts, quant, q, qp, pred, levels)
+	} else {
+		literals = compressLorenzo(data, f.Dims(), quant, q, qp, pred)
+	}
+
+	if opts.Trace != nil {
+		opts.Trace.Mode = mode
+		opts.Trace.Levels = levels
+		opts.Trace.Q = append(opts.Trace.Q[:0], q...)
+		if useQP {
+			opts.Trace.QP = append(opts.Trace.QP[:0], qp...)
+			opts.Trace.Compensated = pred.Compensated
+		}
+	}
+
+	var huff []byte
+	if useQP && opts.ForceQP {
+		huff, _ = core.ChooseEncoding(qp, nil)
+	} else {
+		huff, useQP = core.ChooseEncoding(q, qp)
+	}
+
+	hdr := make([]byte, 0, 64)
+	hdr = append(hdr, byte(mode), byte(opts.Interp), byte(len(opts.DirOrder)))
+	for _, d := range opts.DirOrder {
+		hdr = append(hdr, byte(d))
+	}
+	qpCfg := opts.QP
+	if !useQP {
+		qpCfg = core.Config{}
+	}
+	hdr = append(hdr, byte(qpCfg.Mode), byte(qpCfg.Cond))
+	hdr = binary.AppendUvarint(hdr, uint64(max(qpCfg.MaxLevel, 0)))
+	hdr = binary.AppendUvarint(hdr, uint64(opts.Radius))
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(opts.ErrorBound))
+
+	buf := make([]byte, 0, len(hdr)+len(huff)+len(literals)*8+16)
+	buf = append(buf, hdr...)
+	buf = binary.AppendUvarint(buf, uint64(len(huff)))
+	buf = append(buf, huff...)
+	buf = binary.AppendUvarint(buf, uint64(len(literals)))
+	for _, v := range literals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+
+	return lossless.Compress(opts.Lossless, buf)
+}
+
+// Decompress reconstructs a field with the given dims from an SZ3 payload.
+func Decompress(payload []byte, dims []int) (*grid.Field, error) {
+	n, err := grid.CheckDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := lossless.Decompress(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(buf) < 3 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	mode := Mode(buf[0])
+	kind := interp.Kind(buf[1])
+	nd := int(buf[2])
+	buf = buf[3:]
+	if nd != len(dims) {
+		return nil, fmt.Errorf("%w: stream ndims %d != caller dims %d", ErrCorrupt, nd, len(dims))
+	}
+	if len(buf) < nd+2 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	dirOrder := make([]int, nd)
+	seen := make([]bool, nd)
+	for i := 0; i < nd; i++ {
+		dirOrder[i] = int(buf[i])
+		if dirOrder[i] >= nd || seen[dirOrder[i]] {
+			return nil, fmt.Errorf("%w: bad dir order", ErrCorrupt)
+		}
+		seen[dirOrder[i]] = true
+	}
+	buf = buf[nd:]
+	qpCfg := core.Config{Mode: core.Mode(buf[0]), Cond: core.Cond(buf[1])}
+	buf = buf[2:]
+	ml, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad qp level", ErrCorrupt)
+	}
+	qpCfg.MaxLevel = int(ml)
+	buf = buf[k:]
+	if err := qpCfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	radius64, k := binary.Uvarint(buf)
+	if k <= 0 || radius64 < 2 || radius64 > 1<<30 {
+		return nil, fmt.Errorf("%w: bad radius", ErrCorrupt)
+	}
+	buf = buf[k:]
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	eb := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	buf = buf[8:]
+	if !(eb > 0) || math.IsInf(eb, 0) {
+		return nil, fmt.Errorf("%w: bad error bound", ErrCorrupt)
+	}
+
+	hl, k := binary.Uvarint(buf)
+	if k <= 0 || hl > uint64(len(buf)-k) {
+		return nil, fmt.Errorf("%w: bad huffman length", ErrCorrupt)
+	}
+	buf = buf[k:]
+	enc, err := huffman.Decode(buf[:hl])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	buf = buf[hl:]
+	if len(enc) != n {
+		return nil, fmt.Errorf("%w: %d symbols for %d points", ErrCorrupt, len(enc), n)
+	}
+	nl, k := binary.Uvarint(buf)
+	if k <= 0 || nl > uint64((len(buf)-k)/8) {
+		return nil, fmt.Errorf("%w: bad literal count", ErrCorrupt)
+	}
+	buf = buf[k:]
+	literals := make([]float64, nl)
+	for i := range literals {
+		literals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+
+	quant, err := quantizer.NewLinear(eb, int32(radius64))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	out, err := grid.New(dims...)
+	if err != nil {
+		return nil, err
+	}
+
+	switch mode {
+	case ModeInterp:
+		var pred *core.Predictor
+		if qpCfg.Enabled() {
+			pred, err = core.NewPredictor(qpCfg, int32(radius64))
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+		if err := decompressInterp(out.Data, dims, kind, dirOrder, quant, enc, literals, pred); err != nil {
+			return nil, err
+		}
+	case ModeLorenzo:
+		var pred *core.Predictor
+		if qpCfg.Enabled() {
+			pred, err = core.NewPredictor(qpCfg, int32(radius64))
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+		if err := decompressLorenzo(out.Data, dims, quant, enc, literals, pred); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrCorrupt, mode)
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

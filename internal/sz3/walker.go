@@ -1,0 +1,200 @@
+package sz3
+
+import (
+	"math/bits"
+
+	"scdc/internal/core"
+)
+
+// Point describes one data point visited by the multilevel interpolation
+// schedule. The same walker drives compression and decompression, which
+// guarantees both sides visit points in an identical order with identical
+// prediction geometry.
+type Point struct {
+	Idx      int // flat index of the point
+	Dir      int // interpolation axis of the current pass
+	T        int // position along Dir (element units), an odd multiple of S
+	S        int // level stride 2^(level-1)
+	N        int // extent along Dir
+	LineBase int // flat index of the line's origin (position 0 along Dir)
+	LineStrd int // flat stride along Dir
+	Level    int // 1-based level; level 1 is the final stride-1 level
+	NB       core.Neighborhood
+}
+
+// Levels returns the number of interpolation levels for the given dims:
+// the smallest L with 2^(L-1) <= max(extent-1), or 0 when every extent is
+// 1 (a single point needs no interpolation).
+func Levels(dims []int) int {
+	m := 0
+	for _, d := range dims {
+		if d-1 > m {
+			m = d - 1
+		}
+	}
+	return bits.Len(uint(m))
+}
+
+// DefaultDirOrder returns the default interpolation direction order:
+// fastest axis first (for SegSalt-style [x, y, z] layouts this is the
+// z -> y -> x order the paper describes for SZ3).
+func DefaultDirOrder(nd int) []int {
+	order := make([]int, nd)
+	for i := range order {
+		order[i] = nd - 1 - i
+	}
+	return order
+}
+
+// forEachPoint walks the multilevel interpolation schedule with a single
+// direction order for every level.
+func forEachPoint(dims, strides, dirOrder []int, levels int, fn func(pt *Point)) {
+	WalkSchedule(dims, strides, levels, func(int) []int { return dirOrder }, fn)
+}
+
+// WalkSchedule walks the multilevel interpolation schedule over a field
+// with the given dims and strides, invoking fn for every predicted point.
+// orderFor supplies the direction order for each level, which lets QoZ
+// tune the order per level. It supports 1..4 dimensions.
+//
+// Schedule (paper Section IV-A): for level = L..1 with stride s=2^(level-1),
+// the known lattice holds multiples of 2s in every dim. Passes run in
+// the level's direction order; the pass along dir predicts points whose
+// Dir-coordinate is an odd multiple of s, whose already-processed axes sit
+// at multiples of s, and whose not-yet-processed axes sit at multiples of
+// 2s. This reproduces the stride pattern of Figure 2 (2x2, 1x2, 1x1
+// in-plane strides).
+func WalkSchedule(dims, strides []int, levels int, orderFor func(level int) []int, fn func(pt *Point)) {
+	for level := levels; level >= 1; level-- {
+		WalkScheduleLevel(dims, strides, level, orderFor(level), fn)
+	}
+}
+
+// WalkScheduleLevel walks the passes of a single level with the given
+// direction order. Used by the QoZ per-level tuner to sample one level's
+// residuals in isolation.
+func WalkScheduleLevel(dims, strides []int, level int, order []int, fn func(pt *Point)) {
+	nd := len(dims)
+	var pt Point
+	s := 1 << (level - 1)
+	done := make([]bool, nd)
+	for _, dir := range order {
+		if dims[dir] <= 1 || s >= dims[dir] {
+			done[dir] = true
+			continue
+		}
+		var step [4]int
+		for e := 0; e < nd; e++ {
+			switch {
+			case e == dir:
+				step[e] = 0
+			case done[e]:
+				step[e] = s
+			default:
+				step[e] = 2 * s
+			}
+		}
+		walkPass(dims, strides, dir, s, level, step, &pt, fn)
+		done[dir] = true
+	}
+}
+
+// walkPass iterates one interpolation pass: all lattice positions of the
+// orthogonal axes (outer loops, slowest axis first) crossed with the odd
+// multiples of s along dir (inner loop).
+func walkPass(dims, strides []int, dir, s, level int, step [4]int, pt *Point, fn func(pt *Point)) {
+	nd := len(dims)
+	// Orthogonal axes in ascending order (slowest first).
+	var orth [3]int
+	no := 0
+	for e := 0; e < nd; e++ {
+		if e != dir {
+			orth[no] = e
+			no++
+		}
+	}
+	// Lattice extent per orthogonal axis.
+	var cnt [3]int
+	for k := 0; k < 3; k++ {
+		if k < no {
+			cnt[k] = (dims[orth[k]]-1)/step[orth[k]] + 1
+		} else {
+			cnt[k] = 1
+		}
+	}
+	// QP plane axes: the two fastest orthogonal axes (largest axis index),
+	// which in ascending orth order are the last two real entries.
+	leftK, topK := -1, -1
+	if no >= 1 {
+		leftK = no - 1
+	}
+	if no >= 2 {
+		topK = no - 2
+	}
+
+	dstr := strides[dir]
+	n := dims[dir]
+
+	var leftOff, topOff int
+	if leftK >= 0 {
+		leftOff = step[orth[leftK]] * strides[orth[leftK]]
+	}
+	if topK >= 0 {
+		topOff = step[orth[topK]] * strides[orth[topK]]
+	}
+	backOff := 2 * s * dstr
+
+	for c0 := 0; c0 < cnt[0]; c0++ {
+		for c1 := 0; c1 < cnt[1]; c1++ {
+			for c2 := 0; c2 < cnt[2]; c2++ {
+				base := 0
+				var oc [3]int
+				oc[0], oc[1], oc[2] = c0, c1, c2
+				for k := 0; k < no; k++ {
+					base += oc[k] * step[orth[k]] * strides[orth[k]]
+				}
+				hasLeft := leftK >= 0 && oc[leftK] > 0
+				hasTop := topK >= 0 && oc[topK] > 0
+				for t := s; t < n; t += 2 * s {
+					idx := base + t*dstr
+					nb := core.Neighborhood{
+						Level: level,
+						Left:  -1, Top: -1, TopLeft: -1,
+						Back: -1, BackLeft: -1, BackTop: -1, BackTopLeft: -1,
+					}
+					if hasLeft {
+						nb.Left = idx - leftOff
+					}
+					if hasTop {
+						nb.Top = idx - topOff
+					}
+					if hasLeft && hasTop {
+						nb.TopLeft = idx - leftOff - topOff
+					}
+					if t >= 3*s {
+						nb.Back = idx - backOff
+						if hasLeft {
+							nb.BackLeft = nb.Back - leftOff
+						}
+						if hasTop {
+							nb.BackTop = nb.Back - topOff
+						}
+						if hasLeft && hasTop {
+							nb.BackTopLeft = nb.Back - leftOff - topOff
+						}
+					}
+					pt.Idx = idx
+					pt.Dir = dir
+					pt.T = t
+					pt.S = s
+					pt.N = n
+					pt.LineBase = base
+					pt.LineStrd = dstr
+					pt.Level = level
+					pt.NB = nb
+					fn(pt)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package sz3
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scdc/internal/grid"
+)
+
+// TestWalkerPartition: over all levels, the schedule visits every point
+// except the origin exactly once.
+func TestWalkerPartition(t *testing.T) {
+	cases := [][]int{{8, 8, 8}, {7, 9, 5}, {16, 3, 10}, {1, 6, 6}, {33}, {5, 5}, {3, 4, 5, 6}, {2, 2, 2}, {1, 1, 9}}
+	for _, dims := range cases {
+		strides := grid.Strides(dims)
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		seen := make([]int, n)
+		forEachPoint(dims, strides, DefaultDirOrder(len(dims)), Levels(dims), func(pt *Point) {
+			seen[pt.Idx]++
+		})
+		if seen[0] != 0 {
+			t.Fatalf("dims=%v: origin visited by schedule", dims)
+		}
+		for idx := 1; idx < n; idx++ {
+			if seen[idx] != 1 {
+				t.Fatalf("dims=%v: point %d visited %d times", dims, idx, seen[idx])
+			}
+		}
+	}
+}
+
+// TestWalkerKnownLattice: when a point is visited, every position its
+// interpolation stencil can touch (t±s, t±3s along Dir) was either the
+// origin or visited earlier — the "known lattice" invariant that makes
+// compression and decompression consistent.
+func TestWalkerKnownLattice(t *testing.T) {
+	dims := []int{11, 13, 9}
+	strides := grid.Strides(dims)
+	n := dims[0] * dims[1] * dims[2]
+	done := make([]bool, n)
+	done[0] = true
+	forEachPoint(dims, strides, DefaultDirOrder(3), Levels(dims), func(pt *Point) {
+		for _, off := range []int{-3 * pt.S, -pt.S, pt.S, 3 * pt.S} {
+			p := pt.T + off
+			if p < 0 || p >= pt.N {
+				continue
+			}
+			idx := pt.LineBase + p*pt.LineStrd
+			if (p/pt.S)%2 == 0 && !done[idx] {
+				t.Fatalf("point %d (t=%d s=%d dir=%d) reads unknown stencil position %d",
+					pt.Idx, pt.T, pt.S, pt.Dir, idx)
+			}
+		}
+		done[pt.Idx] = true
+	})
+}
+
+// TestWalkerNeighborValidity: every QP neighbor was visited earlier in the
+// same pass (same level, same Dir, same stride geometry).
+func TestWalkerNeighborValidity(t *testing.T) {
+	dims := []int{12, 10, 14}
+	strides := grid.Strides(dims)
+	n := dims[0] * dims[1] * dims[2]
+	type meta struct {
+		order      int
+		level, dir int
+	}
+	visited := make([]meta, n)
+	order := 0
+	forEachPoint(dims, strides, DefaultDirOrder(3), Levels(dims), func(pt *Point) {
+		order++
+		check := func(nb int) {
+			if nb < 0 {
+				return
+			}
+			if nb >= n {
+				t.Fatalf("neighbor %d out of range", nb)
+			}
+			m := visited[nb]
+			if m.order == 0 {
+				t.Fatalf("neighbor %d of point %d not yet visited", nb, pt.Idx)
+			}
+			if m.level != pt.Level || m.dir != pt.Dir {
+				t.Fatalf("neighbor %d crosses passes: level %d/%d dir %d/%d",
+					nb, m.level, pt.Level, m.dir, pt.Dir)
+			}
+		}
+		check(pt.NB.Left)
+		check(pt.NB.Top)
+		check(pt.NB.TopLeft)
+		check(pt.NB.Back)
+		check(pt.NB.BackLeft)
+		check(pt.NB.BackTop)
+		check(pt.NB.BackTopLeft)
+		visited[pt.Idx] = meta{order, pt.Level, pt.Dir}
+	})
+}
+
+// TestWalkerLevelStrides: points at level l sit on the 2^(l-1) lattice
+// with at least one odd multiple coordinate, and T is an odd multiple of S
+// along Dir.
+func TestWalkerLevelStrides(t *testing.T) {
+	dims := []int{17, 12, 21}
+	strides := grid.Strides(dims)
+	coord := make([]int, 3)
+	forEachPoint(dims, strides, DefaultDirOrder(3), Levels(dims), func(pt *Point) {
+		if pt.S != 1<<(pt.Level-1) {
+			t.Fatalf("level %d has stride %d", pt.Level, pt.S)
+		}
+		if pt.T%pt.S != 0 || (pt.T/pt.S)%2 != 1 {
+			t.Fatalf("T=%d not an odd multiple of S=%d", pt.T, pt.S)
+		}
+		rem := pt.Idx
+		for d := 0; d < 3; d++ {
+			coord[d] = rem / strides[d]
+			rem %= strides[d]
+		}
+		if coord[pt.Dir] != pt.T {
+			t.Fatalf("coord along dir %d is %d, T=%d", pt.Dir, coord[pt.Dir], pt.T)
+		}
+		for d := 0; d < 3; d++ {
+			if coord[d]%pt.S != 0 {
+				t.Fatalf("level %d point %v off the lattice", pt.Level, coord)
+			}
+		}
+	})
+}
+
+// TestQuickWalkerPartition property: the partition invariant holds for
+// random small dims and any direction order permutation.
+func TestQuickWalkerPartition(t *testing.T) {
+	f := func(a, b, c uint8, flip bool) bool {
+		dims := []int{int(a%7) + 1, int(b%7) + 1, int(c%7) + 1}
+		order := DefaultDirOrder(3)
+		if flip {
+			order = []int{0, 1, 2}
+		}
+		strides := grid.Strides(dims)
+		n := dims[0] * dims[1] * dims[2]
+		seen := make([]int, n)
+		forEachPoint(dims, strides, order, Levels(dims), func(pt *Point) {
+			seen[pt.Idx]++
+		})
+		for idx := 1; idx < n; idx++ {
+			if seen[idx] != 1 {
+				return false
+			}
+		}
+		return seen[0] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	cases := map[string]struct {
+		dims []int
+		want int
+	}{
+		"single": {[]int{1, 1, 1}, 0},
+		"two":    {[]int{2, 2, 2}, 1},
+		"128":    {[]int{128, 1, 1}, 7},
+		"129":    {[]int{129, 1, 1}, 8},
+		"mixed":  {[]int{5, 64, 3}, 6},
+	}
+	for name, c := range cases {
+		if got := Levels(c.dims); got != c.want {
+			t.Errorf("%s: Levels(%v) = %d, want %d", name, c.dims, got, c.want)
+		}
+	}
+}
+
+func TestDefaultDirOrder(t *testing.T) {
+	got := DefaultDirOrder(3)
+	if got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("order = %v", got)
+	}
+}

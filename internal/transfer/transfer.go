@@ -1,0 +1,246 @@
+// Package transfer implements the paper's end-to-end parallel data
+// transfer experiment (Section VI-E, Figure 18) as a measured simulation.
+//
+// The paper compresses the 4D RTM dataset (3600 time slices, 635 GB) in an
+// embarrassingly parallel fashion on 225-1800 cores, writes the compressed
+// slices to a parallel filesystem, moves them over a Globus WAN link
+// measured at 461.75 MB/s, then reads and decompresses at the destination.
+//
+// This package reproduces that arithmetic with real measured compute:
+// per-slice compression/decompression cost and compressed size are
+// measured by actually running the Go compressors on sampled synthetic RTM
+// slices; filesystem and WAN stages are modeled by aggregate bandwidths
+// (the WAN default is the paper's measured 461.75 MB/s). Strong scaling
+// divides the slice set across the configured core counts.
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"scdc/internal/datagen"
+	"scdc/internal/metrics"
+	"scdc/internal/parallel"
+	"scdc/internal/sz3"
+)
+
+// ErrBadConfig reports an invalid configuration.
+var ErrBadConfig = errors.New("transfer: invalid configuration")
+
+// Config parameterizes the experiment.
+type Config struct {
+	// Slices is the number of 3D time slices in the dataset (paper: 3600).
+	Slices int
+	// SliceDims is the geometry of one slice (nil = reduced RTM dims).
+	SliceDims []int
+	// Cores lists the strong-scaling core counts (paper: 225..1800).
+	Cores []int
+	// LinkMBps is the WAN bandwidth (default 461.75, the paper's measured
+	// Globus rate).
+	LinkMBps float64
+	// FSMBps is the aggregate parallel filesystem bandwidth for writes and
+	// reads (default 5000).
+	FSMBps float64
+	// ErrorBound is the absolute error bound for compression.
+	ErrorBound float64
+	// SampleSlices is how many slices are actually compressed to measure
+	// cost and ratio (default 4).
+	SampleSlices int
+	// Workers bounds the goroutines used for the measurement pass
+	// (default GOMAXPROCS).
+	Workers int
+	// Seed controls slice synthesis.
+	Seed int64
+}
+
+// StageSeconds holds per-stage wall-clock times in seconds.
+type StageSeconds struct {
+	Compress, Write, Transfer, Read, Decompress float64
+}
+
+// Total sums the pipeline stages.
+func (s StageSeconds) Total() float64 {
+	return s.Compress + s.Write + s.Transfer + s.Read + s.Decompress
+}
+
+// Result is one (core count, variant) cell of Figure 18.
+type Result struct {
+	Cores  int
+	QP     bool
+	Stages StageSeconds
+	CR     float64
+	PSNR   float64
+}
+
+// RawTransferSeconds returns the no-compression baseline: moving the raw
+// dataset over the link (the paper's vanilla Globus transfer took 23m29s).
+func RawTransferSeconds(cfg Config) float64 {
+	if err := (&cfg).normalize(); err != nil {
+		return 0
+	}
+	bytes := float64(cfg.Slices) * float64(sliceBytes(cfg))
+	return bytes / (cfg.LinkMBps * 1e6)
+}
+
+// PaperRawBytes is the size of the paper's RTM dataset (635.36 GB).
+const PaperRawBytes = 635.36e9
+
+// ScaledLinkMBps scales a physical link bandwidth to the reduced synthetic
+// dataset so the raw-transfer time (and thus the compute-vs-bandwidth
+// balance of Figure 18) matches the paper: a link that moves 635 GB in
+// 23m29s should move our smaller dataset in the same time.
+func ScaledLinkMBps(cfg Config, physicalMBps float64) float64 {
+	if err := (&cfg).normalize(); err != nil {
+		return physicalMBps
+	}
+	raw := float64(cfg.Slices) * float64(sliceBytes(cfg))
+	return physicalMBps * raw / PaperRawBytes
+}
+
+func sliceBytes(cfg Config) int {
+	n := 1
+	for _, d := range cfg.SliceDims {
+		n *= d
+	}
+	return n * 8
+}
+
+func (cfg *Config) normalize() error {
+	if cfg.Slices <= 0 {
+		return fmt.Errorf("%w: Slices must be positive", ErrBadConfig)
+	}
+	if cfg.SliceDims == nil {
+		cfg.SliceDims = datagen.RTM.Spec().Dims
+	}
+	if len(cfg.Cores) == 0 {
+		cfg.Cores = []int{225, 450, 900, 1800}
+	}
+	if cfg.LinkMBps <= 0 {
+		cfg.LinkMBps = 461.75
+	}
+	if cfg.FSMBps <= 0 {
+		cfg.FSMBps = 5000
+	}
+	if !(cfg.ErrorBound > 0) || math.IsInf(cfg.ErrorBound, 0) {
+		return fmt.Errorf("%w: ErrorBound must be positive", ErrBadConfig)
+	}
+	if cfg.SampleSlices <= 0 {
+		cfg.SampleSlices = 4
+	}
+	if cfg.SampleSlices > cfg.Slices {
+		cfg.SampleSlices = cfg.Slices
+	}
+	return nil
+}
+
+// measurement aggregates the sampled per-slice costs.
+type measurement struct {
+	compressSec   float64 // mean per slice
+	decompressSec float64
+	compressedB   float64
+	psnr          float64
+}
+
+// Run measures both variants (SZ3, SZ3+QP) and returns one Result per
+// (core count, variant), QP-less first per core count.
+func Run(cfg Config) ([]Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	base, err := measure(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	qp, err := measure(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Result
+	rawB := float64(sliceBytes(cfg))
+	for _, cores := range cfg.Cores {
+		if cores <= 0 {
+			return nil, fmt.Errorf("%w: core count %d", ErrBadConfig, cores)
+		}
+		for _, m := range []struct {
+			meas measurement
+			isQP bool
+		}{{base, false}, {qp, true}} {
+			slicesPerCore := (cfg.Slices + cores - 1) / cores
+			totalCompressed := m.meas.compressedB * float64(cfg.Slices)
+			st := StageSeconds{
+				Compress:   float64(slicesPerCore) * m.meas.compressSec,
+				Write:      totalCompressed / (cfg.FSMBps * 1e6),
+				Transfer:   totalCompressed / (cfg.LinkMBps * 1e6),
+				Read:       totalCompressed / (cfg.FSMBps * 1e6),
+				Decompress: float64(slicesPerCore) * m.meas.decompressSec,
+			}
+			out = append(out, Result{
+				Cores:  cores,
+				QP:     m.isQP,
+				Stages: st,
+				CR:     rawB / m.meas.compressedB,
+				PSNR:   m.meas.psnr,
+			})
+		}
+	}
+	return out, nil
+}
+
+// measure compresses SampleSlices real slices and averages cost, size and
+// PSNR.
+func measure(cfg Config, withQP bool) (measurement, error) {
+	type sample struct {
+		cSec, dSec float64
+		bytes      int
+		psnr       float64
+		err        error
+	}
+	step := cfg.Slices / cfg.SampleSlices
+	if step == 0 {
+		step = 1
+	}
+	samples := parallel.Map(cfg.SampleSlices, cfg.Workers, func(i int) sample {
+		f := datagen.MustGenerate(datagen.RTM, i*step, cfg.SliceDims, cfg.Seed)
+		opts := sz3.DefaultOptions(cfg.ErrorBound)
+		if withQP {
+			opts = opts.WithQP()
+		}
+		t0 := time.Now()
+		payload, err := sz3.Compress(f, opts)
+		cSec := time.Since(t0).Seconds()
+		if err != nil {
+			return sample{err: err}
+		}
+		t1 := time.Now()
+		out, err := sz3.Decompress(payload, f.Dims())
+		dSec := time.Since(t1).Seconds()
+		if err != nil {
+			return sample{err: err}
+		}
+		psnr, err := metrics.PSNR(f.Data, out.Data)
+		if err != nil {
+			return sample{err: err}
+		}
+		return sample{cSec: cSec, dSec: dSec, bytes: len(payload), psnr: psnr}
+	})
+
+	var m measurement
+	for _, s := range samples {
+		if s.err != nil {
+			return m, s.err
+		}
+		m.compressSec += s.cSec
+		m.decompressSec += s.dSec
+		m.compressedB += float64(s.bytes)
+		m.psnr += s.psnr
+	}
+	n := float64(len(samples))
+	m.compressSec /= n
+	m.decompressSec /= n
+	m.compressedB /= n
+	m.psnr /= n
+	return m, nil
+}

@@ -1,0 +1,96 @@
+package transfer
+
+import "testing"
+
+func smallConfig() Config {
+	return Config{
+		Slices:       64,
+		SliceDims:    []int{32, 32, 24},
+		Cores:        []int{4, 8, 16},
+		ErrorBound:   1e-3,
+		SampleSlices: 2,
+		Seed:         1,
+	}
+}
+
+func TestRunShape(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 { // 3 core counts x 2 variants
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 0; i < len(res); i += 2 {
+		if res[i].QP || !res[i+1].QP {
+			t.Fatalf("variant order wrong at %d", i)
+		}
+		if res[i].Cores != res[i+1].Cores {
+			t.Fatalf("core pairing wrong at %d", i)
+		}
+	}
+}
+
+// TestQPReducesTransfer is the experiment's headline property (Figure 18):
+// QP's higher ratio must shrink the bandwidth-bound stages.
+func TestQPReducesTransfer(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, qp := res[0], res[1]
+	if qp.CR <= base.CR {
+		t.Fatalf("QP did not raise CR: %.2f vs %.2f", qp.CR, base.CR)
+	}
+	if qp.Stages.Transfer >= base.Stages.Transfer {
+		t.Fatalf("QP did not shrink transfer: %.3fs vs %.3fs", qp.Stages.Transfer, base.Stages.Transfer)
+	}
+}
+
+func TestStrongScaling(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compression stage time must shrink as cores grow (same variant).
+	if res[0].Stages.Compress < res[4].Stages.Compress {
+		t.Fatalf("no strong scaling: %f at %d cores vs %f at %d",
+			res[0].Stages.Compress, res[0].Cores, res[4].Stages.Compress, res[4].Cores)
+	}
+	// Transfer stage is core-independent.
+	if res[0].Stages.Transfer != res[4].Stages.Transfer {
+		t.Fatal("transfer time varies with cores")
+	}
+}
+
+func TestRawBaseline(t *testing.T) {
+	cfg := smallConfig()
+	if err := (&cfg).normalize(); err != nil {
+		t.Fatal(err)
+	}
+	raw := RawTransferSeconds(cfg)
+	if raw <= 0 {
+		t.Fatalf("raw = %g", raw)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := Run(Config{Slices: 4}); err == nil {
+		t.Error("missing bound accepted")
+	}
+	cfg := smallConfig()
+	cfg.Cores = []int{0}
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestStageTotal(t *testing.T) {
+	s := StageSeconds{1, 2, 3, 4, 5}
+	if s.Total() != 15 {
+		t.Fatalf("total = %g", s.Total())
+	}
+}

@@ -1,0 +1,158 @@
+// Package transform provides the signal transforms used by the
+// transform-based comparator compressors (ZFP-, TTHRESH- and SPERR-like)
+// and by the synthetic dataset generators: a radix-2 complex FFT, DCT-II/
+// DCT-III via FFT, and the CDF 9/7 biorthogonal wavelet in lifting form.
+package transform
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// ErrNotPow2 reports a length that is not a power of two.
+var ErrNotPow2 = errors.New("transform: length must be a power of two")
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of the complex
+// signal (re, im). len(re) == len(im) must be a power of two.
+func FFT(re, im []float64) error {
+	return fft(re, im, false)
+}
+
+// IFFT computes the inverse FFT, including the 1/n scaling.
+func IFFT(re, im []float64) error {
+	if err := fft(re, im, true); err != nil {
+		return err
+	}
+	n := float64(len(re))
+	for i := range re {
+		re[i] /= n
+		im[i] /= n
+	}
+	return nil
+}
+
+func fft(re, im []float64, inverse bool) error {
+	n := len(re)
+	if n != len(im) {
+		return errors.New("transform: re/im length mismatch")
+	}
+	if n == 0 || n&(n-1) != 0 {
+		return ErrNotPow2
+	}
+	if n == 1 {
+		return nil
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		ang := sign * 2 * math.Pi / float64(size)
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += size {
+			cr, ci := 1.0, 0.0
+			for k := 0; k < half; k++ {
+				i0, i1 := start+k, start+k+half
+				tr := re[i1]*cr - im[i1]*ci
+				ti := re[i1]*ci + im[i1]*cr
+				re[i1] = re[i0] - tr
+				im[i1] = im[i0] - ti
+				re[i0] += tr
+				im[i0] += ti
+				cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
+			}
+		}
+	}
+	return nil
+}
+
+// DCT2 computes the orthonormal DCT-II of x (any length) in O(n log n)
+// via a length-2n FFT when n is a power of two, or O(n^2) directly
+// otherwise (the comparators pad to powers of two, the direct path exists
+// for completeness and testing).
+func DCT2(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if n&(n-1) == 0 && n > 1 {
+		// Even-symmetric extension into a 2n FFT.
+		re := make([]float64, 2*n)
+		im := make([]float64, 2*n)
+		for i, v := range x {
+			re[i] = v
+			re[2*n-1-i] = v
+		}
+		_ = FFT(re, im) // length is a power of two by construction
+		for k := 0; k < n; k++ {
+			ang := -math.Pi * float64(k) / float64(2*n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			out[k] = 0.5 * (re[k]*c - im[k]*s)
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			sum := 0.0
+			for i, v := range x {
+				sum += v * math.Cos(math.Pi*(float64(i)+0.5)*float64(k)/float64(n))
+			}
+			out[k] = sum
+		}
+	}
+	// Orthonormal scaling.
+	s0 := math.Sqrt(1 / float64(n))
+	sk := math.Sqrt(2 / float64(n))
+	out[0] *= s0
+	for k := 1; k < n; k++ {
+		out[k] *= sk
+	}
+	return out
+}
+
+// DCT3 computes the inverse of the orthonormal DCT-II, via a length-2n
+// FFT when n is a power of two (x[i] = Re(DFT_{2n}(w_k c_k e^{-i pi k/2n})[i]))
+// and directly otherwise.
+func DCT3(c []float64) []float64 {
+	n := len(c)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	s0 := math.Sqrt(1 / float64(n))
+	sk := math.Sqrt(2 / float64(n))
+	if n&(n-1) == 0 && n > 1 {
+		re := make([]float64, 2*n)
+		im := make([]float64, 2*n)
+		for k := 0; k < n; k++ {
+			w := sk
+			if k == 0 {
+				w = s0
+			}
+			ang := -math.Pi * float64(k) / float64(2*n)
+			re[k] = w * c[k] * math.Cos(ang)
+			im[k] = w * c[k] * math.Sin(ang)
+		}
+		_ = FFT(re, im)
+		copy(out, re[:n])
+		return out
+	}
+	for i := 0; i < n; i++ {
+		sum := c[0] * s0
+		for k := 1; k < n; k++ {
+			sum += c[k] * sk * math.Cos(math.Pi*(float64(i)+0.5)*float64(k)/float64(n))
+		}
+		out[i] = sum
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package zfp is a from-scratch Go port of the ZFP fixed-accuracy
+// compression algorithm (Lindstrom 2014), the first transform-based
+// comparator in the paper's Table IV.
+//
+// The pipeline follows the reference design: data is partitioned into 4^3
+// blocks; each block is converted to a block-floating-point fixed-point
+// representation under its largest exponent, decorrelated with ZFP's
+// exactly-invertible integer lifting transform along each dimension,
+// mapped to negabinary, reordered by total sequency, and entropy-coded
+// bit plane by bit plane with the group-testing (unary run-length) scheme
+// of the reference encoder. Fixed-accuracy mode encodes just enough planes
+// to honor the absolute error tolerance.
+package zfp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"scdc/internal/bitstream"
+	"scdc/internal/grid"
+)
+
+// ErrCorrupt reports a malformed ZFP payload.
+var ErrCorrupt = errors.New("zfp: corrupt stream")
+
+// ErrBadOptions reports invalid options.
+var ErrBadOptions = errors.New("zfp: invalid options")
+
+const (
+	blockEdge = 4
+	blockLen  = blockEdge * blockEdge * blockEdge // 64
+	intPrec   = 62                                // fixed-point precision (bits)
+	nbMask    = 0xaaaaaaaaaaaaaaaa                // negabinary conversion mask
+	ebBits    = 12                                // biased exponent width
+	ebBias    = 2047
+)
+
+// Options configures compression.
+type Options struct {
+	// Tolerance is the absolute error tolerance (fixed-accuracy mode).
+	Tolerance float64
+}
+
+// Compress compresses field f in fixed-accuracy mode.
+func Compress(f *grid.Field, opts Options) ([]byte, error) {
+	if !(opts.Tolerance > 0) || math.IsInf(opts.Tolerance, 0) {
+		return nil, fmt.Errorf("%w: tolerance must be positive and finite", ErrBadOptions)
+	}
+	nx, ny, nz := dims3(f.Dims())
+
+	w := bitstream.NewWriter(f.Len())
+	minexp := int(math.Floor(math.Log2(opts.Tolerance)))
+
+	var block [blockLen]float64
+	for x0 := 0; x0 < nx; x0 += blockEdge {
+		for y0 := 0; y0 < ny; y0 += blockEdge {
+			for z0 := 0; z0 < nz; z0 += blockEdge {
+				gatherBlock(f.Data, nx, ny, nz, x0, y0, z0, &block)
+				encodeBlock(w, &block, minexp)
+			}
+		}
+	}
+	body := w.Bytes()
+
+	hdr := make([]byte, 0, 16)
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(opts.Tolerance))
+	return append(hdr, body...), nil
+}
+
+// Decompress reconstructs a field with the given dims.
+func Decompress(payload []byte, dims []int) (*grid.Field, error) {
+	if _, err := grid.CheckDims(dims); err != nil {
+		return nil, err
+	}
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	tol := math.Float64frombits(binary.LittleEndian.Uint64(payload))
+	if !(tol > 0) || math.IsInf(tol, 0) {
+		return nil, fmt.Errorf("%w: bad tolerance", ErrCorrupt)
+	}
+	r := bitstream.NewReader(payload[8:])
+	minexp := int(math.Floor(math.Log2(tol)))
+
+	out, err := grid.New(dims...)
+	if err != nil {
+		return nil, err
+	}
+	nx, ny, nz := dims3(dims)
+
+	var block [blockLen]float64
+	for x0 := 0; x0 < nx; x0 += blockEdge {
+		for y0 := 0; y0 < ny; y0 += blockEdge {
+			for z0 := 0; z0 < nz; z0 += blockEdge {
+				if err := decodeBlock(r, &block, minexp); err != nil {
+					return nil, err
+				}
+				scatterBlock(out.Data, nx, ny, nz, x0, y0, z0, &block)
+			}
+		}
+	}
+	return out, nil
+}
+
+// dims3 normalizes 1..4D dims to a 3D shape (leading dims collapse).
+func dims3(dims []int) (nx, ny, nz int) {
+	switch len(dims) {
+	case 1:
+		return 1, 1, dims[0]
+	case 2:
+		return 1, dims[0], dims[1]
+	case 3:
+		return dims[0], dims[1], dims[2]
+	default:
+		return dims[0] * dims[1], dims[2], dims[3]
+	}
+}
+
+// gatherBlock extracts a 4^3 block, padding out-of-range positions by
+// clamping to the nearest valid sample (ZFP's pad-by-replication).
+func gatherBlock(data []float64, nx, ny, nz, x0, y0, z0 int, blk *[blockLen]float64) {
+	k := 0
+	for dx := 0; dx < blockEdge; dx++ {
+		x := clampIdx(x0+dx, nx)
+		for dy := 0; dy < blockEdge; dy++ {
+			y := clampIdx(y0+dy, ny)
+			for dz := 0; dz < blockEdge; dz++ {
+				z := clampIdx(z0+dz, nz)
+				blk[k] = data[(x*ny+y)*nz+z]
+				k++
+			}
+		}
+	}
+}
+
+func scatterBlock(data []float64, nx, ny, nz, x0, y0, z0 int, blk *[blockLen]float64) {
+	k := 0
+	for dx := 0; dx < blockEdge; dx++ {
+		for dy := 0; dy < blockEdge; dy++ {
+			for dz := 0; dz < blockEdge; dz++ {
+				x, y, z := x0+dx, y0+dy, z0+dz
+				if x < nx && y < ny && z < nz {
+					data[(x*ny+y)*nz+z] = blk[k]
+				}
+				k++
+			}
+		}
+	}
+}
+
+func clampIdx(i, n int) int {
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

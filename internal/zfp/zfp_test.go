@@ -1,0 +1,186 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scdc/internal/grid"
+	"scdc/internal/metrics"
+)
+
+func synth(dims ...int) *grid.Field {
+	f := grid.MustNew(dims...)
+	strides := grid.Strides(dims)
+	coord := make([]int, len(dims))
+	for i := range f.Data {
+		rem := i
+		for d := range dims {
+			coord[d] = rem / strides[d]
+			rem %= strides[d]
+		}
+		v := 0.0
+		for d, c := range coord {
+			x := float64(c) / float64(dims[d])
+			v += math.Sin(2*math.Pi*x*(float64(d)+1.5)) / (float64(d) + 1)
+		}
+		f.Data[i] = v
+	}
+	return f
+}
+
+func roundTrip(t *testing.T, f *grid.Field, tol float64) *grid.Field {
+	t.Helper()
+	payload, err := Compress(f, Options{Tolerance: tol})
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	out, err := Decompress(payload, f.Dims())
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	maxErr, err := metrics.MaxAbsError(f.Data, out.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > tol {
+		t.Fatalf("tolerance violated: %g > %g", maxErr, tol)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := synth(33, 40, 37)
+	for _, tol := range []float64{1e-1, 1e-3, 1e-6} {
+		roundTrip(t, f, tol)
+	}
+}
+
+func TestLiftNearInverse(t *testing.T) {
+	// ZFP's lifting transform discards low-order bits (the >>1 steps), so
+	// the round trip is near-exact, not exact: the deviation is a handful
+	// of integer units, far below the fixed-point guard bits.
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 1000; iter++ {
+		p := make([]int64, 4)
+		want := make([]int64, 4)
+		for i := range p {
+			p[i] = int64(rng.Uint64()>>4) - 1<<59
+			want[i] = p[i]
+		}
+		fwdLift(p, 1)
+		invLift(p, 1)
+		for i := range p {
+			d := p[i] - want[i]
+			if d < -8 || d > 8 {
+				t.Fatalf("lift deviation too large at %d: %d", i, d)
+			}
+		}
+	}
+}
+
+func TestSeqOrderIsPermutation(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, v := range seqOrder {
+		if v < 0 || v >= blockLen || seen[v] {
+			t.Fatalf("seqOrder invalid at %d", v)
+		}
+		seen[v] = true
+	}
+	// First entry must be the DC coefficient.
+	if seqOrder[0] != 0 {
+		t.Fatalf("seqOrder[0] = %d", seqOrder[0])
+	}
+}
+
+func TestZeroField(t *testing.T) {
+	f := grid.MustNew(16, 16, 16)
+	payload, err := Compress(f, Options{Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero blocks cost one bit each plus the header.
+	if len(payload) > 8+64/8+8 {
+		t.Fatalf("zero field too large: %d bytes", len(payload))
+	}
+	out, err := Decompress(payload, f.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.Data {
+		if v != 0 {
+			t.Fatal("zero field not recovered")
+		}
+	}
+}
+
+func TestNonAlignedDims(t *testing.T) {
+	for _, dims := range [][]int{{5, 7, 9}, {1, 1, 3}, {4, 4, 4}, {17}, {6, 10}, {2, 3, 4, 5}} {
+		roundTrip(t, synth(dims...), 1e-4)
+	}
+}
+
+func TestCompressionHappens(t *testing.T) {
+	f := synth(64, 64, 64)
+	payload, err := Compress(f, Options{Tolerance: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := f.Len() * 8
+	if len(payload) >= raw/4 {
+		t.Fatalf("poor compression: %d of %d", len(payload), raw)
+	}
+}
+
+func TestToleranceScalesSize(t *testing.T) {
+	f := synth(32, 32, 32)
+	loose, _ := Compress(f, Options{Tolerance: 1e-1})
+	tight, _ := Compress(f, Options{Tolerance: 1e-8})
+	if len(loose) >= len(tight) {
+		t.Fatalf("loose %d >= tight %d", len(loose), len(tight))
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	f := synth(8, 8, 8)
+	if _, err := Compress(f, Options{}); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := Decompress(nil, []int{8, 8, 8}); err == nil {
+		t.Error("nil payload accepted")
+	}
+	payload, _ := Compress(f, Options{Tolerance: 1e-4})
+	if _, err := Decompress(payload[:10], f.Dims()); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+// TestQuickBlockRoundTrip property: a single block of arbitrary bounded
+// values decodes within tolerance.
+func TestQuickBlockRoundTrip(t *testing.T) {
+	f := func(vals [blockLen]float64) bool {
+		fld := grid.MustNew(4, 4, 4)
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			// Bound magnitudes to keep the fixed-point path exact.
+			fld.Data[i] = math.Mod(v, 1e6)
+		}
+		tol := 1e-3
+		payload, err := Compress(fld, Options{Tolerance: tol})
+		if err != nil {
+			return false
+		}
+		out, err := Decompress(payload, fld.Dims())
+		if err != nil {
+			return false
+		}
+		maxErr, _ := metrics.MaxAbsError(fld.Data, out.Data)
+		return maxErr <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package scdc
+
+import "scdc/internal/metrics"
+
+// PSNR returns the peak signal-to-noise ratio between original and
+// decompressed data: 20*log10(range/RMSE).
+func PSNR(original, decompressed []float64) (float64, error) {
+	return metrics.PSNR(original, decompressed)
+}
+
+// MSE returns the mean squared error.
+func MSE(original, decompressed []float64) (float64, error) {
+	return metrics.MSE(original, decompressed)
+}
+
+// MaxAbsError returns the maximum pointwise absolute error.
+func MaxAbsError(original, decompressed []float64) (float64, error) {
+	return metrics.MaxAbsError(original, decompressed)
+}
+
+// MaxRelError returns the maximum pointwise error relative to the value
+// range of the original.
+func MaxRelError(original, decompressed []float64) (float64, error) {
+	return metrics.MaxRelError(original, decompressed)
+}
+
+// CompressionRatio returns originalBytes/compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int) float64 {
+	return metrics.CompressionRatio(originalBytes, compressedBytes)
+}
+
+// BitRate returns the average bits per sample at the given compression
+// ratio (use 32 for single-precision sources, 64 for double).
+func BitRate(bitsPerSample int, compressionRatio float64) float64 {
+	return metrics.BitRate(bitsPerSample, compressionRatio)
+}

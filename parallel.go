@@ -1,0 +1,191 @@
+package scdc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scdc/internal/grid"
+	"scdc/internal/parallel"
+)
+
+// CompressChunked partitions the field into chunks along the slowest
+// dimension and compresses them independently on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS). This is the embarrassingly parallel
+// mode the paper uses for the RTM transfer experiment (Section VI-E) and
+// the natural way to exploit multi-core nodes: QP, like the base
+// compressors, is sequential within a chunk but trivially parallel across
+// chunks.
+//
+// chunkExtent is the target extent of each chunk along dims[0]
+// (chunkExtent <= 0 selects ceil(dims[0]/workers), at least 1). Each chunk
+// is a fully independent stream, so a chunked container also supports
+// partial decompression by chunk.
+func CompressChunked(data []float64, dims []int, opts Options, workers, chunkExtent int) ([]byte, error) {
+	f, err := grid.FromSlice(data, dims...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("%w: chunked compression needs >= 2 dims", ErrBadOptions)
+	}
+	// Resolve a relative bound against the whole field so every chunk uses
+	// the same absolute bound (chunk-local ranges would break the global
+	// guarantee's uniformity).
+	eb, err := resolveBound(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	chunkOpts := opts
+	chunkOpts.ErrorBound = eb
+	chunkOpts.RelativeBound = 0
+
+	if workers <= 0 {
+		workers = 1
+	}
+	n0 := dims[0]
+	if chunkExtent <= 0 {
+		chunkExtent = (n0 + workers - 1) / workers
+	}
+	if chunkExtent < 1 {
+		chunkExtent = 1
+	}
+	nChunks := (n0 + chunkExtent - 1) / chunkExtent
+	sliceLen := f.Len() / n0
+
+	type result struct {
+		stream []byte
+		err    error
+	}
+	results := parallel.Map(nChunks, workers, func(i int) result {
+		lo := i * chunkExtent
+		hi := lo + chunkExtent
+		if hi > n0 {
+			hi = n0
+		}
+		chunkDims := append([]int{hi - lo}, dims[1:]...)
+		stream, err := Compress(data[lo*sliceLen:hi*sliceLen], chunkDims, chunkOpts)
+		return result{stream, err}
+	})
+
+	// Container: magic, version, marker 0xFF (chunked), ndims, dims,
+	// chunk extent, chunk count, then length-prefixed chunk streams.
+	out := make([]byte, 0, 64)
+	out = append(out, magic[:]...)
+	out = append(out, formatVersion, 0xFF, byte(len(dims)))
+	for _, d := range dims {
+		out = binary.AppendUvarint(out, uint64(d))
+	}
+	out = binary.AppendUvarint(out, uint64(chunkExtent))
+	out = binary.AppendUvarint(out, uint64(nChunks))
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", i, r.err)
+		}
+		out = binary.AppendUvarint(out, uint64(len(r.stream)))
+		out = append(out, r.stream...)
+	}
+	return out, nil
+}
+
+// DecompressChunked reconstructs a field compressed with CompressChunked,
+// decompressing chunks on up to workers goroutines.
+func DecompressChunked(stream []byte, workers int) (*Result, error) {
+	dims, chunkExtent, chunks, err := parseChunked(stream)
+	if err != nil {
+		return nil, err
+	}
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	sliceLen := n / dims[0]
+	out := make([]float64, n)
+	var alg Algorithm
+
+	errs := parallel.Map(len(chunks), workers, func(i int) error {
+		res, err := Decompress(chunks[i])
+		if err != nil {
+			return fmt.Errorf("chunk %d: %w", i, err)
+		}
+		lo := i * chunkExtent
+		if copy(out[lo*sliceLen:], res.Data) != len(res.Data) {
+			return fmt.Errorf("chunk %d: size mismatch", i)
+		}
+		if i == 0 {
+			alg = res.Algorithm
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Data: out, Dims: dims, Algorithm: alg}, nil
+}
+
+// DecompressChunk extracts a single chunk (by index) from a chunked
+// stream without touching the others — partial decompression.
+func DecompressChunk(stream []byte, chunk int) (*Result, error) {
+	_, _, chunks, err := parseChunked(stream)
+	if err != nil {
+		return nil, err
+	}
+	if chunk < 0 || chunk >= len(chunks) {
+		return nil, fmt.Errorf("%w: chunk %d of %d", ErrBadOptions, chunk, len(chunks))
+	}
+	return Decompress(chunks[chunk])
+}
+
+// parseChunked validates the chunked container and slices out the chunk
+// streams (no copying).
+func parseChunked(stream []byte) (dims []int, chunkExtent int, chunks [][]byte, err error) {
+	if len(stream) < 8 || stream[0] != magic[0] || stream[1] != magic[1] ||
+		stream[2] != magic[2] || stream[3] != magic[3] {
+		return nil, 0, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if stream[4] != formatVersion || stream[5] != 0xFF {
+		return nil, 0, nil, fmt.Errorf("%w: not a chunked stream", ErrCorrupt)
+	}
+	nd := int(stream[6])
+	if nd < 2 || nd > grid.MaxDims {
+		return nil, 0, nil, fmt.Errorf("%w: bad dimensionality %d", ErrCorrupt, nd)
+	}
+	buf := stream[7:]
+	dims = make([]int, nd)
+	for i := range dims {
+		v, k := binary.Uvarint(buf)
+		if k <= 0 || v == 0 || v > 1<<40 {
+			return nil, 0, nil, fmt.Errorf("%w: bad dims", ErrCorrupt)
+		}
+		dims[i] = int(v)
+		buf = buf[k:]
+	}
+	ce, k := binary.Uvarint(buf)
+	if k <= 0 || ce == 0 {
+		return nil, 0, nil, fmt.Errorf("%w: bad chunk extent", ErrCorrupt)
+	}
+	buf = buf[k:]
+	nc, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, 0, nil, fmt.Errorf("%w: bad chunk count", ErrCorrupt)
+	}
+	buf = buf[k:]
+	want := (dims[0] + int(ce) - 1) / int(ce)
+	if int(nc) != want {
+		return nil, 0, nil, fmt.Errorf("%w: %d chunks for extent %d over %d", ErrCorrupt, nc, ce, dims[0])
+	}
+	chunks = make([][]byte, nc)
+	for i := range chunks {
+		l, k := binary.Uvarint(buf)
+		if k <= 0 || l > uint64(len(buf)-k) {
+			return nil, 0, nil, fmt.Errorf("%w: truncated chunk %d", ErrCorrupt, i)
+		}
+		chunks[i] = buf[k : k+int(l)]
+		buf = buf[k+int(l):]
+	}
+	if len(buf) != 0 {
+		return nil, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	}
+	return dims, int(ce), chunks, nil
+}

@@ -1,0 +1,134 @@
+package scdc
+
+import (
+	"testing"
+
+	"scdc/datasets"
+)
+
+func chunkedField(t *testing.T) ([]float64, []int) {
+	t.Helper()
+	data, dims, err := datasets.Generate("SCALE", 0, []int{24, 40, 48}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, dims
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	data, dims := chunkedField(t)
+	for _, workers := range []int{1, 3} {
+		for _, extent := range []int{0, 1, 5, 24, 100} {
+			stream, err := CompressChunked(data, dims, Options{Algorithm: SZ3, RelativeBound: 1e-4, QP: DefaultQP()}, workers, extent)
+			if err != nil {
+				t.Fatalf("workers=%d extent=%d: %v", workers, extent, err)
+			}
+			res, err := DecompressChunked(stream, workers)
+			if err != nil {
+				t.Fatalf("workers=%d extent=%d: %v", workers, extent, err)
+			}
+			if res.Algorithm != SZ3 || len(res.Data) != len(data) {
+				t.Fatal("result shape wrong")
+			}
+			maxErr, _ := MaxAbsError(data, res.Data)
+			lo, hi := data[0], data[0]
+			for _, v := range data {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if maxErr > 1e-4*(hi-lo)*(1+1e-12) {
+				t.Fatalf("workers=%d extent=%d: bound violated (%g)", workers, extent, maxErr)
+			}
+		}
+	}
+}
+
+func TestChunkedDeterministicAcrossWorkers(t *testing.T) {
+	data, dims := chunkedField(t)
+	a, err := CompressChunked(data, dims, Options{Algorithm: QoZ, RelativeBound: 1e-4}, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompressChunked(data, dims, Options{Algorithm: QoZ, RelativeBound: 1e-4}, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("worker count changed the stream: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("worker count changed stream bytes")
+		}
+	}
+}
+
+func TestPartialDecompression(t *testing.T) {
+	data, dims := chunkedField(t)
+	stream, err := CompressChunked(data, dims, Options{Algorithm: SZ3, RelativeBound: 1e-4}, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk 1 covers rows [6, 12).
+	res, err := DecompressChunk(stream, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dims[0] != 6 {
+		t.Fatalf("chunk dims = %v", res.Dims)
+	}
+	sliceLen := len(data) / dims[0]
+	want := data[6*sliceLen : 12*sliceLen]
+	maxErr, _ := MaxAbsError(want, res.Data)
+	lo, hi := data[0], data[0]
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if maxErr > 1e-4*(hi-lo)*(1+1e-12) {
+		t.Fatalf("partial chunk bound violated: %g", maxErr)
+	}
+	if _, err := DecompressChunk(stream, 99); err == nil {
+		t.Error("out-of-range chunk accepted")
+	}
+}
+
+func TestChunkedErrors(t *testing.T) {
+	data, dims := chunkedField(t)
+	if _, err := CompressChunked(data, []int{len(data)}, Options{Algorithm: SZ3, ErrorBound: 1e-3}, 2, 0); err == nil {
+		t.Error("1D chunking accepted")
+	}
+	if _, err := CompressChunked(data[:7], dims, Options{Algorithm: SZ3, ErrorBound: 1e-3}, 2, 0); err == nil {
+		t.Error("bad dims accepted")
+	}
+	if _, err := CompressChunked(data, dims, Options{Algorithm: SZ3}, 2, 0); err == nil {
+		t.Error("missing bound accepted")
+	}
+	stream, err := CompressChunked(data, dims, Options{Algorithm: SZ3, ErrorBound: 1e-3}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressChunked(stream[:20], 2); err == nil {
+		t.Error("truncated chunked stream accepted")
+	}
+	// A plain stream is not a chunked stream.
+	plain, err := Compress(data, dims, Options{Algorithm: SZ3, ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressChunked(plain, 2); err == nil {
+		t.Error("plain stream accepted by chunked decoder")
+	}
+	// And a chunked stream is not a plain stream.
+	if _, err := Decompress(stream); err == nil {
+		t.Error("chunked stream accepted by plain decoder")
+	}
+}

@@ -1,0 +1,327 @@
+// Package scdc (Scientific Data Compression) is an error-bounded lossy
+// compression library for multi-dimensional floating-point scientific
+// data, built around adaptive Quantization index Prediction (QP).
+//
+// It provides from-scratch implementations of four interpolation-based
+// compressors — SZ3, QoZ, HPEZ and MGARD — each of which can be combined
+// with QP, the reversible quantization-index transform of "Improving the
+// Efficiency of Interpolation-based Scientific Data Compressors with
+// Adaptive Quantization Index Prediction" (IPDPS 2025). QP raises
+// compression ratios by up to tens of percent at bit-identical
+// decompressed output. Three transform-based comparators (ZFP, a
+// TTHRESH-like DCT codec, and a SPERR-like wavelet codec) are included
+// for benchmarking.
+//
+// Basic usage:
+//
+//	stream, err := scdc.Compress(data, []int{nx, ny, nz}, scdc.Options{
+//	    Algorithm:  scdc.SZ3,
+//	    ErrorBound: 1e-3,
+//	    QP:         scdc.DefaultQP(),
+//	})
+//	res, err := scdc.Decompress(stream)
+//
+// Every compressor guarantees max|x - x'| <= ErrorBound except TTHRESH,
+// which follows the original's norm-based control (RMSE <= ErrorBound/2).
+package scdc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"scdc/internal/core"
+	"scdc/internal/grid"
+	"scdc/internal/hpez"
+	"scdc/internal/mgard"
+	"scdc/internal/qoz"
+	"scdc/internal/sperr"
+	"scdc/internal/sz3"
+	"scdc/internal/tthresh"
+	"scdc/internal/zfp"
+)
+
+// Algorithm selects a compressor.
+type Algorithm byte
+
+const (
+	// SZ3 is the multilevel spline-interpolation compressor (default).
+	SZ3 Algorithm = iota
+	// QoZ is SZ3 plus anchor grid and quality-oriented auto-tuning.
+	QoZ
+	// HPEZ adds multi-dimensional interpolation with block-wise tuning.
+	HPEZ
+	// MGARD is the multilevel finite-element compressor with L2
+	// projection.
+	MGARD
+	// ZFP is the block-transform comparator (fixed-accuracy mode).
+	ZFP
+	// TTHRESH is the global-transform comparator (norm-based control).
+	TTHRESH
+	// SPERR is the wavelet comparator with outlier correction.
+	SPERR
+	numAlgorithms
+)
+
+var algorithmNames = [...]string{"SZ3", "QoZ", "HPEZ", "MGARD", "ZFP", "TTHRESH", "SPERR"}
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	if int(a) < len(algorithmNames) {
+		return algorithmNames[a]
+	}
+	return fmt.Sprintf("algorithm(%d)", byte(a))
+}
+
+// ParseAlgorithm resolves a case-sensitive algorithm name.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for i, n := range algorithmNames {
+		if n == name {
+			return Algorithm(i), nil
+		}
+	}
+	return 0, fmt.Errorf("scdc: unknown algorithm %q", name)
+}
+
+// SupportsQP reports whether the algorithm's pipeline has a quantization
+// index stage that QP can intercept (the four interpolation-based
+// compressors).
+func (a Algorithm) SupportsQP() bool { return a <= MGARD }
+
+// QPMode selects the QP prediction dimension (paper Figure 7).
+type QPMode byte
+
+const (
+	// QPOff disables quantization index prediction.
+	QPOff QPMode = iota
+	// QP1DBack predicts along the interpolation direction.
+	QP1DBack
+	// QP1DTop predicts along the slower orthogonal axis.
+	QP1DTop
+	// QP1DLeft predicts along the faster orthogonal axis.
+	QP1DLeft
+	// QP2D is 2D Lorenzo in the orthogonal plane (the paper's choice).
+	QP2D
+	// QP3D is 3D Lorenzo.
+	QP3D
+)
+
+// QPCondition selects the QP prediction condition (paper Figure 8).
+type QPCondition byte
+
+const (
+	// QPCaseI predicts everywhere.
+	QPCaseI QPCondition = iota
+	// QPCaseII skips unpredictable neighbors.
+	QPCaseII
+	// QPCaseIII additionally requires same-sign left/top neighbors (the
+	// paper's choice).
+	QPCaseIII
+	// QPCaseIV requires all three neighbors to share a sign.
+	QPCaseIV
+)
+
+// QPConfig configures quantization index prediction.
+type QPConfig struct {
+	Mode      QPMode
+	Condition QPCondition
+	// MaxLevel restricts prediction to interpolation levels <= MaxLevel;
+	// 0 means no restriction. The paper's best fit is 2.
+	MaxLevel int
+}
+
+// DefaultQP returns the paper's best-fit configuration: 2D Lorenzo,
+// Case III, levels 1-2 (Algorithm 2).
+func DefaultQP() QPConfig {
+	return QPConfig{Mode: QP2D, Condition: QPCaseIII, MaxLevel: 2}
+}
+
+func (q QPConfig) toCore() core.Config {
+	return core.Config{Mode: core.Mode(q.Mode), Cond: core.Cond(q.Condition), MaxLevel: q.MaxLevel}
+}
+
+// Options configures Compress.
+type Options struct {
+	// Algorithm selects the compressor. Default SZ3.
+	Algorithm Algorithm
+	// ErrorBound is the absolute error bound. Exactly one of ErrorBound
+	// and RelativeBound must be positive.
+	ErrorBound float64
+	// RelativeBound, when positive, sets the bound to
+	// RelativeBound * (max - min) of the input.
+	RelativeBound float64
+	// QP configures quantization index prediction for the
+	// interpolation-based algorithms; the zero value disables it.
+	QP QPConfig
+}
+
+// Result is a decompressed field.
+type Result struct {
+	// Data holds the samples in row-major order (first dim slowest).
+	Data []float64
+	// Dims are the field extents.
+	Dims []int
+	// Algorithm is the compressor that produced the stream.
+	Algorithm Algorithm
+}
+
+// Float32 converts the samples to float32.
+func (r *Result) Float32() []float32 {
+	out := make([]float32, len(r.Data))
+	for i, v := range r.Data {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// ErrCorrupt reports a malformed container.
+var ErrCorrupt = errors.New("scdc: corrupt stream")
+
+// ErrBadOptions reports invalid options or input.
+var ErrBadOptions = errors.New("scdc: invalid options")
+
+var magic = [4]byte{'S', 'C', 'D', 'C'}
+
+const formatVersion = 1
+
+// Compress compresses a row-major field with the given dims (1 to 4
+// dimensions, first dim slowest).
+func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
+	f, err := grid.FromSlice(data, dims...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	eb, err := resolveBound(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Algorithm >= numAlgorithms {
+		return nil, fmt.Errorf("%w: unknown algorithm %d", ErrBadOptions, opts.Algorithm)
+	}
+	if opts.QP.Mode != QPOff && !opts.Algorithm.SupportsQP() {
+		return nil, fmt.Errorf("%w: %v does not support QP", ErrBadOptions, opts.Algorithm)
+	}
+
+	var payload []byte
+	switch opts.Algorithm {
+	case SZ3:
+		o := sz3.DefaultOptions(eb)
+		o.QP = opts.QP.toCore()
+		payload, err = sz3.Compress(f, o)
+	case QoZ:
+		o := qoz.DefaultOptions(eb)
+		o.QP = opts.QP.toCore()
+		payload, err = qoz.Compress(f, o)
+	case HPEZ:
+		o := hpez.DefaultOptions(eb)
+		o.QP = opts.QP.toCore()
+		payload, err = hpez.Compress(f, o)
+	case MGARD:
+		o := mgard.DefaultOptions(eb)
+		o.QP = opts.QP.toCore()
+		payload, err = mgard.Compress(f, o)
+	case ZFP:
+		payload, err = zfp.Compress(f, zfp.Options{Tolerance: eb})
+	case TTHRESH:
+		payload, err = tthresh.Compress(f, tthresh.DefaultOptions(eb))
+	case SPERR:
+		payload, err = sperr.Compress(f, sperr.DefaultOptions(eb))
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	hdr := make([]byte, 0, 32)
+	hdr = append(hdr, magic[:]...)
+	hdr = append(hdr, formatVersion, byte(opts.Algorithm), byte(len(dims)))
+	for _, d := range dims {
+		hdr = binary.AppendUvarint(hdr, uint64(d))
+	}
+	return append(hdr, payload...), nil
+}
+
+// CompressFloat32 is Compress for single-precision input.
+func CompressFloat32(data []float32, dims []int, opts Options) ([]byte, error) {
+	f, err := grid.FromFloat32(data, dims...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	return Compress(f.Data, dims, opts)
+}
+
+// Decompress reconstructs a field from a stream produced by Compress.
+func Decompress(stream []byte) (*Result, error) {
+	if len(stream) < 7 || stream[0] != magic[0] || stream[1] != magic[1] ||
+		stream[2] != magic[2] || stream[3] != magic[3] {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if stream[4] != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, stream[4])
+	}
+	alg := Algorithm(stream[5])
+	nd := int(stream[6])
+	if alg >= numAlgorithms {
+		return nil, fmt.Errorf("%w: unknown algorithm %d", ErrCorrupt, alg)
+	}
+	if nd < 1 || nd > grid.MaxDims {
+		return nil, fmt.Errorf("%w: bad dimensionality %d", ErrCorrupt, nd)
+	}
+	buf := stream[7:]
+	dims := make([]int, nd)
+	for i := range dims {
+		v, k := binary.Uvarint(buf)
+		if k <= 0 || v == 0 || v > 1<<40 {
+			return nil, fmt.Errorf("%w: bad dims", ErrCorrupt)
+		}
+		dims[i] = int(v)
+		buf = buf[k:]
+	}
+
+	var f *grid.Field
+	var err error
+	switch alg {
+	case SZ3:
+		f, err = sz3.Decompress(buf, dims)
+	case QoZ:
+		f, err = qoz.Decompress(buf, dims)
+	case HPEZ:
+		f, err = hpez.Decompress(buf, dims)
+	case MGARD:
+		f, err = mgard.Decompress(buf, dims)
+	case ZFP:
+		f, err = zfp.Decompress(buf, dims)
+	case TTHRESH:
+		f, err = tthresh.Decompress(buf, dims)
+	case SPERR:
+		f, err = sperr.Decompress(buf, dims)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Data: f.Data, Dims: dims, Algorithm: alg}, nil
+}
+
+func resolveBound(f *grid.Field, opts Options) (float64, error) {
+	abs, rel := opts.ErrorBound, opts.RelativeBound
+	switch {
+	case abs > 0 && rel > 0:
+		return 0, fmt.Errorf("%w: set only one of ErrorBound and RelativeBound", ErrBadOptions)
+	case abs > 0:
+		if math.IsInf(abs, 0) {
+			return 0, fmt.Errorf("%w: infinite error bound", ErrBadOptions)
+		}
+		return abs, nil
+	case rel > 0:
+		if math.IsInf(rel, 0) {
+			return 0, fmt.Errorf("%w: infinite relative bound", ErrBadOptions)
+		}
+		rng := f.Range()
+		if rng == 0 {
+			rng = 1 // constant field: any positive bound works
+		}
+		return rel * rng, nil
+	default:
+		return 0, fmt.Errorf("%w: an error bound is required", ErrBadOptions)
+	}
+}

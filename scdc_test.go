@@ -1,0 +1,205 @@
+package scdc
+
+import (
+	"math"
+	"testing"
+
+	"scdc/datasets"
+)
+
+func testField(t *testing.T) ([]float64, []int) {
+	t.Helper()
+	data, dims, err := datasets.Generate("Miranda", 0, []int{32, 40, 44}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, dims
+}
+
+func TestAllAlgorithmsRoundTrip(t *testing.T) {
+	data, dims := testField(t)
+	for alg := SZ3; alg < numAlgorithms; alg++ {
+		stream, err := Compress(data, dims, Options{Algorithm: alg, RelativeBound: 1e-3})
+		if err != nil {
+			t.Fatalf("%v compress: %v", alg, err)
+		}
+		res, err := Decompress(stream)
+		if err != nil {
+			t.Fatalf("%v decompress: %v", alg, err)
+		}
+		if res.Algorithm != alg {
+			t.Fatalf("%v: stream reports %v", alg, res.Algorithm)
+		}
+		if len(res.Data) != len(data) {
+			t.Fatalf("%v: length mismatch", alg)
+		}
+		maxErr, _ := MaxAbsError(data, res.Data)
+		rng := 0.0
+		lo, hi := data[0], data[0]
+		for _, v := range data {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		rng = hi - lo
+		bound := 1e-3 * rng
+		if alg == TTHRESH {
+			mse, _ := MSE(data, res.Data)
+			if math.Sqrt(mse) > bound {
+				t.Errorf("%v: RMSE %g > %g", alg, math.Sqrt(mse), bound)
+			}
+			continue
+		}
+		if maxErr > bound*(1+1e-12) {
+			t.Errorf("%v: max error %g > %g", alg, maxErr, bound)
+		}
+	}
+}
+
+func TestQPAcrossBases(t *testing.T) {
+	data, dims := testField(t)
+	for _, alg := range []Algorithm{SZ3, QoZ, HPEZ, MGARD} {
+		base, err := Compress(data, dims, Options{Algorithm: alg, RelativeBound: 1e-4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, err := Compress(data, dims, Options{Algorithm: alg, RelativeBound: 1e-4, QP: DefaultQP()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := Decompress(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, err := Decompress(qp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rb.Data {
+			if rb.Data[i] != rq.Data[i] {
+				t.Fatalf("%v: QP changed decompressed data at %d", alg, i)
+			}
+		}
+		t.Logf("%v: base=%d qp=%d bytes (%+.1f%%)", alg, len(base), len(qp),
+			100*(float64(len(base))/float64(len(qp))-1))
+	}
+}
+
+func TestQPRejectedForTransformCodecs(t *testing.T) {
+	data, dims := testField(t)
+	for _, alg := range []Algorithm{ZFP, TTHRESH, SPERR} {
+		if _, err := Compress(data, dims, Options{Algorithm: alg, ErrorBound: 1e-3, QP: DefaultQP()}); err == nil {
+			t.Errorf("%v accepted QP", alg)
+		}
+	}
+}
+
+func TestBoundResolution(t *testing.T) {
+	data, dims := testField(t)
+	if _, err := Compress(data, dims, Options{}); err == nil {
+		t.Error("missing bound accepted")
+	}
+	if _, err := Compress(data, dims, Options{ErrorBound: 1e-3, RelativeBound: 1e-3}); err == nil {
+		t.Error("double bound accepted")
+	}
+	if _, err := Compress(data, dims, Options{ErrorBound: math.Inf(1)}); err == nil {
+		t.Error("infinite bound accepted")
+	}
+	if _, err := Compress(data, dims, Options{Algorithm: 99, ErrorBound: 1e-3}); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if _, err := Compress(data[:5], dims, Options{ErrorBound: 1e-3}); err == nil {
+		t.Error("bad dims accepted")
+	}
+}
+
+func TestFloat32RoundTrip(t *testing.T) {
+	data, dims := testField(t)
+	f32 := make([]float32, len(data))
+	for i, v := range data {
+		f32[i] = float32(v)
+	}
+	stream, err := CompressFloat32(f32, dims, Options{Algorithm: SZ3, RelativeBound: 1e-3, QP: DefaultQP()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Float32()
+	if len(out) != len(f32) {
+		t.Fatal("length mismatch")
+	}
+}
+
+func TestContainerValidation(t *testing.T) {
+	data, dims := testField(t)
+	stream, err := Compress(data, dims, Options{Algorithm: SZ3, ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+	if _, err := Decompress([]byte("BOGUSDATA")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad := append([]byte(nil), stream...)
+	bad[4] = 99
+	if _, err := Decompress(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	bad = append([]byte(nil), stream...)
+	bad[5] = 99
+	if _, err := Decompress(bad); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if _, err := Decompress(stream[:20]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for alg := SZ3; alg < numAlgorithms; alg++ {
+		got, err := ParseAlgorithm(alg.String())
+		if err != nil || got != alg {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", alg.String(), got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = 42
+	}
+	stream, err := Compress(data, []int{10, 10, 10}, Options{Algorithm: SZ3, RelativeBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Data {
+		if math.Abs(v-42) > 1e-3 {
+			t.Fatalf("constant field value %g", v)
+		}
+	}
+}
+
+func TestDatasetsPackage(t *testing.T) {
+	infos := datasets.List()
+	if len(infos) != 7 {
+		t.Fatalf("want 7 datasets, got %d", len(infos))
+	}
+	if _, _, err := datasets.Generate("nope", 0, nil, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	data, dims, err := datasets.Generate("SegSalt", 0, []int{16, 16, 16}, 1)
+	if err != nil || len(data) != 4096 || len(dims) != 3 {
+		t.Fatalf("SegSalt generate: %v", err)
+	}
+}
