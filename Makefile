@@ -1,0 +1,33 @@
+# Build, test and benchmark entry points.
+#
+# `make check` is the tier-1 gate: full build + tests, go vet, and a
+# -race pass over the concurrency-bearing packages (the parallel engine,
+# the sharded entropy coder, and the chunked/parallel facade tests).
+# `make bench` snapshots the hot-path benchmarks into
+# results/BENCH_pr1.json (before-numbers are the recorded seed baseline).
+
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/parallel/ ./internal/sz3/ ./internal/huffman/ .
+
+check: build test vet race
+
+bench:
+	@mkdir -p results
+	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchtime 5x . | tee results/bench_hotpath_raw.txt
+	sh scripts/bench_json.sh results/bench_hotpath_raw.txt > results/BENCH_pr1.json
+	@echo wrote results/BENCH_pr1.json

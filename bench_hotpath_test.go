@@ -1,0 +1,122 @@
+// Hot-path benchmarks for the intra-field parallel engine: steady-state
+// allocation counts (b.ReportAllocs) and worker scaling for compression,
+// decompression and the sharded entropy coder. `make bench` snapshots
+// these into results/BENCH_pr1.json.
+package scdc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"scdc"
+
+	"scdc/internal/datagen"
+	"scdc/internal/huffman"
+	"scdc/internal/sz3"
+)
+
+func hotPathField() ([]float64, []int) {
+	f := field(datagen.Miranda, 1)
+	return f.Data, f.Dims()
+}
+
+// BenchmarkHotPathCompress measures end-to-end Compress at several worker
+// counts. Allocations should be O(1) in field size at steady state: the
+// working copy, index arrays, Huffman tables and flate state are pooled.
+func BenchmarkHotPathCompress(b *testing.B) {
+	data, dims := hotPathField()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := scdc.Options{Algorithm: scdc.SZ3, RelativeBound: 1e-4,
+				QP: scdc.DefaultQP(), Workers: workers}
+			b.SetBytes(int64(len(data) * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := scdc.Compress(data, dims, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHotPathDecompress measures end-to-end DecompressParallel on a
+// sharded stream at several worker counts.
+func BenchmarkHotPathDecompress(b *testing.B) {
+	data, dims := hotPathField()
+	stream, err := scdc.Compress(data, dims, scdc.Options{Algorithm: scdc.SZ3,
+		RelativeBound: 1e-4, QP: scdc.DefaultQP(), Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(data) * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := scdc.DecompressParallel(stream, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHotPathInterpPass isolates the interpolation + quantization
+// engine (no entropy coding, no lossless wrapper) at the sz3 layer.
+func BenchmarkHotPathInterpPass(b *testing.B) {
+	f := field(datagen.Miranda, 1)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := sz3.DefaultOptions(1e-3)
+			opts.Choice = sz3.ChoiceInterp
+			opts.Workers = workers
+			b.SetBytes(int64(f.Len() * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sz3.Compress(f, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHotPathShardedHuffman isolates the sharded entropy coder.
+func BenchmarkHotPathShardedHuffman(b *testing.B) {
+	f := field(datagen.Miranda, 1)
+	var tr sz3.Trace
+	opts := sz3.DefaultOptions(1e-3)
+	opts.Choice = sz3.ChoiceInterp
+	opts.Trace = &tr
+	if _, err := sz3.Compress(f, opts); err != nil {
+		b.Fatal(err)
+	}
+	q := tr.Q
+	for _, shards := range []int{1, 4} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d/encode", shards, workers), func(b *testing.B) {
+				b.SetBytes(int64(len(q) * 4))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					huffman.EncodeSharded(q, shards, workers)
+				}
+			})
+			enc := huffman.EncodeSharded(q, shards, workers)
+			b.Run(fmt.Sprintf("shards=%d/workers=%d/decode", shards, workers), func(b *testing.B) {
+				b.SetBytes(int64(len(q) * 4))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := huffman.DecodeParallel(enc, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

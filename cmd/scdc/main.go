@@ -13,6 +13,16 @@
 // Generate a synthetic benchmark field instead of reading a file:
 //
 //	scdc -z -dataset Miranda -out miranda.scdc -alg QoZ -qp -rel 1e-4
+//
+// -workers N fans interpolation, quantization and entropy coding out
+// across N goroutines (both directions); the stream is bit-identical for
+// every N. -shards K writes the entropy stream as K independently
+// decodable Huffman shards sharing one code table, so decompression can
+// use -workers even on streams compressed with -workers 1:
+//
+//	scdc -z -in data.f32 -out data.scdc -dims 512x512x512 -eb 1e-3 \
+//	     -qp -workers 8 -shards 8
+//	scdc -x -in data.scdc -out restored.f32 -workers 8
 package main
 
 import (
@@ -54,6 +64,8 @@ func run() error {
 		field      = flag.Int("field", 0, "dataset field index (with -dataset)")
 		seed       = flag.Int64("seed", 1, "dataset synthesis seed (with -dataset)")
 		verify     = flag.Bool("verify", false, "after -z, decompress and report quality metrics")
+		workers    = flag.Int("workers", 1, "goroutines for intra-field parallelism (compress and decompress); output is identical for any value")
+		shards     = flag.Int("shards", 0, "split the entropy stream into this many Huffman shards for parallel decode (0 = single stream)")
 	)
 	flag.Parse()
 
@@ -65,7 +77,7 @@ func run() error {
 	}
 
 	if *decompress {
-		return doDecompress(*in, *out, *dtype)
+		return doDecompress(*in, *out, *dtype, *workers)
 	}
 
 	alg, err := scdc.ParseAlgorithm(*algArg)
@@ -93,7 +105,8 @@ func run() error {
 		return fmt.Errorf("one of -in or -dataset is required with -z")
 	}
 
-	opts := scdc.Options{Algorithm: alg, ErrorBound: *eb, RelativeBound: *rel}
+	opts := scdc.Options{Algorithm: alg, ErrorBound: *eb, RelativeBound: *rel,
+		Workers: *workers, Shards: *shards}
 	if *qp {
 		opts.QP = scdc.DefaultQP()
 	}
@@ -134,7 +147,7 @@ func run() error {
 	return nil
 }
 
-func doDecompress(in, out, dtype string) error {
+func doDecompress(in, out, dtype string, workers int) error {
 	if in == "" {
 		return fmt.Errorf("-in is required with -x")
 	}
@@ -143,7 +156,7 @@ func doDecompress(in, out, dtype string) error {
 		return err
 	}
 	t0 := time.Now()
-	res, err := scdc.Decompress(stream)
+	res, err := scdc.DecompressParallel(stream, workers)
 	if err != nil {
 		return err
 	}

@@ -71,7 +71,7 @@ func TestDoDecompressRoundTrip(t *testing.T) {
 	if err := os.WriteFile(in, stream, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := doDecompress(in, out, "f64"); err != nil {
+	if err := doDecompress(in, out, "f64", 1); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -87,10 +87,10 @@ func TestDoDecompressRoundTrip(t *testing.T) {
 			t.Fatalf("value %d: %g vs %g", i, got, data[i])
 		}
 	}
-	if err := doDecompress(in, out, "bogus"); err == nil {
+	if err := doDecompress(in, out, "bogus", 1); err == nil {
 		t.Error("unknown dtype accepted")
 	}
-	if err := doDecompress("", out, "f64"); err == nil {
+	if err := doDecompress("", out, "f64", 1); err == nil {
 		t.Error("missing input accepted")
 	}
 }

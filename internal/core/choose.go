@@ -15,11 +15,19 @@ import "scdc/internal/huffman"
 // pass per candidate — far cheaper than encoding both — and is accurate
 // to within a fraction of a percent for these skewed index distributions.
 func ChooseEncoding(q, qp []int32) (huff []byte, useQP bool) {
-	if qp == nil {
-		return huffman.Encode(q), false
+	return ChooseEncodingSharded(q, qp, 1, 1)
+}
+
+// ChooseEncodingSharded is ChooseEncoding with the winner encoded as
+// shards independent Huffman sub-streams under one shared code table (see
+// huffman.EncodeSharded), built on up to workers goroutines. shards <= 1
+// produces the legacy single-body stream.
+func ChooseEncodingSharded(q, qp []int32, shards, workers int) (huff []byte, useQP bool) {
+	if qp != nil && huffman.EstimateBytes(qp) < huffman.EstimateBytes(q) {
+		q, useQP = qp, true
 	}
-	if huffman.EstimateBytes(qp) < huffman.EstimateBytes(q) {
-		return huffman.Encode(qp), true
+	if shards <= 1 {
+		return huffman.Encode(q), useQP
 	}
-	return huffman.Encode(q), false
+	return huffman.EncodeSharded(q, shards, workers), useQP
 }

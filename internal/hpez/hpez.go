@@ -58,6 +58,13 @@ type Options struct {
 	// Tune enables block-wise kind tuning, dimension freezing and
 	// level-wise error bound tuning. Default on via DefaultOptions.
 	Tune bool
+	// Workers caps the number of goroutines used for entropy coding. The
+	// HPEZ walker reads across multiple axes per point, so interpolation
+	// itself stays sequential; shard encode/decode still fans out.
+	Workers int
+	// Shards splits the entropy-coded index stream into independently
+	// decodable Huffman shards. <= 1 keeps the legacy single-body stream.
+	Shards int
 	// Trace optionally captures internals for characterization.
 	Trace *sz3.Trace
 }
@@ -149,8 +156,13 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	}
 	pl := buildPlan(f, opts)
 
-	data := append([]float64(nil), f.Data...)
-	q := make([]int32, len(data))
+	// Pooled scratch (see internal/quantizer): every slot is written before
+	// it is read, so recycled contents are fine.
+	data := quantizer.GetFloatBuf(len(f.Data))
+	defer quantizer.PutFloatBuf(data)
+	copy(data, f.Data)
+	q := quantizer.GetIndexBuf(len(data))
+	defer quantizer.PutIndexBuf(q)
 	var qp []int32
 	var pred *core.Predictor
 	var err error
@@ -159,7 +171,8 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		qp = make([]int32, len(data))
+		qp = quantizer.GetIndexBuf(len(data))
+		defer quantizer.PutIndexBuf(qp)
 	}
 
 	anchors, literals := compressCore(data, f.Dims(), pl, q, qp, pred)
@@ -174,7 +187,7 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		}
 	}
 
-	huff, kept := core.ChooseEncoding(q, qp)
+	huff, kept := core.ChooseEncodingSharded(q, qp, opts.Shards, opts.Workers)
 	if !kept {
 		pl.qp = core.Config{}
 	}
@@ -210,6 +223,13 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 // Decompress reconstructs a field with the given dims from an HPEZ
 // payload.
 func Decompress(payload []byte, dims []int) (*grid.Field, error) {
+	return DecompressWorkers(payload, dims, 1)
+}
+
+// DecompressWorkers is Decompress with up to workers goroutines applied to
+// entropy decoding of sharded streams. The reconstruction is byte-identical
+// for any worker count.
+func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, error) {
 	n, err := grid.CheckDims(dims)
 	if err != nil {
 		return nil, err
@@ -297,7 +317,7 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 		return nil, fmt.Errorf("%w: bad huffman length", ErrCorrupt)
 	}
 	buf = buf[k:]
-	enc, err := huffman.Decode(buf[:hl])
+	enc, err := huffman.DecodeParallel(buf[:hl], workers)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}

@@ -5,6 +5,9 @@
 //
 // The encoded form is self-describing: a varint-coded canonical code table
 // followed by the bit stream. Decoding is table-driven per code length.
+// A sharded variant (see sharded.go) splits the body into K independent
+// sub-streams under one shared code table so encode and decode scale with
+// cores.
 package huffman
 
 import (
@@ -13,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"scdc/internal/bitstream"
 )
@@ -70,13 +74,17 @@ type symCount struct {
 // symbol, using the dense path when the range permits.
 func gatherCounts(q []int32) []symCount {
 	if lo, hi, ok := symbolRange(q); ok {
-		counts := denseCounts(q, lo, hi)
+		counts := getCountBuf(int(hi-lo) + 1)
+		for _, v := range q {
+			counts[v-lo]++
+		}
 		out := make([]symCount, 0, 64)
 		for i, c := range counts {
 			if c > 0 {
 				out = append(out, symCount{lo + int32(i), c})
 			}
 		}
+		putCountBuf(counts)
 		return out
 	}
 	m := make(map[int32]uint64)
@@ -151,26 +159,58 @@ func minI32(a, b int32) int32 {
 	return b
 }
 
-// Encode compresses q into a self-describing byte stream.
-func Encode(q []int32) []byte {
-	table := []symLen(nil)
-	if len(q) > 0 {
-		table = codeLengths(q)
-	}
+// --- pooled scratch ---
 
-	// Canonical code assignment: codes ordered by (length, symbol). When
-	// the symbol range is dense, lookups run over flat arrays.
-	lo, hi, dense := symbolRange(q)
-	var codesArr []uint64
-	var lensArr []uint8
-	var codes map[int32]uint64
-	var lens map[int32]uint
-	if dense && len(q) > 0 {
-		codesArr = make([]uint64, int(hi-lo)+1)
-		lensArr = make([]uint8, int(hi-lo)+1)
+var writerPool = sync.Pool{New: func() any { return bitstream.NewWriter(1 << 12) }}
+
+func getWriter() *bitstream.Writer {
+	w := writerPool.Get().(*bitstream.Writer)
+	w.Reset()
+	return w
+}
+
+var countPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+// getCountBuf returns a zeroed pooled histogram buffer of length n.
+func getCountBuf(n int) []uint64 {
+	p := countPool.Get().(*[]uint64)
+	if cap(*p) < n {
+		*p = make([]uint64, n)
+		return *p
+	}
+	s := (*p)[:n]
+	clear(s)
+	return s
+}
+
+func putCountBuf(buf []uint64) {
+	buf = buf[:cap(buf)]
+	countPool.Put(&buf)
+}
+
+// --- encoding ---
+
+// codeSet holds the canonical code assignment for one table, with a dense
+// array fast path when the symbol range is moderate.
+type codeSet struct {
+	lo       int32
+	codesArr []uint64
+	lensArr  []uint8
+	codes    map[int32]uint64
+	lens     map[int32]uint
+}
+
+// buildCodes assigns canonical codes (ordered by length, then symbol) to
+// the table entries. dense selects the flat-array lookup path over [lo,hi].
+func buildCodes(table []symLen, lo, hi int32, dense bool) codeSet {
+	var cs codeSet
+	cs.lo = lo
+	if dense && len(table) > 0 {
+		cs.codesArr = make([]uint64, int(hi-lo)+1)
+		cs.lensArr = make([]uint8, int(hi-lo)+1)
 	} else {
-		codes = make(map[int32]uint64, len(table))
-		lens = make(map[int32]uint, len(table))
+		cs.codes = make(map[int32]uint64, len(table))
+		cs.lens = make(map[int32]uint, len(table))
 	}
 	var code uint64
 	prevLen := 0
@@ -178,20 +218,40 @@ func Encode(q []int32) []byte {
 		if prevLen != 0 {
 			code = (code + 1) << uint(sl.len-prevLen)
 		}
-		if codesArr != nil {
-			codesArr[sl.sym-lo] = code
-			lensArr[sl.sym-lo] = uint8(sl.len)
+		if cs.codesArr != nil {
+			cs.codesArr[sl.sym-lo] = code
+			cs.lensArr[sl.sym-lo] = uint8(sl.len)
 		} else {
-			codes[sl.sym] = code
-			lens[sl.sym] = uint(sl.len)
+			cs.codes[sl.sym] = code
+			cs.lens[sl.sym] = uint(sl.len)
 		}
 		prevLen = sl.len
 	}
+	return cs
+}
 
-	// Header: count of samples, table size, then (zigzag delta symbol,
-	// length) pairs.
-	hdr := make([]byte, 0, 16+len(table)*3)
-	hdr = binary.AppendUvarint(hdr, uint64(len(q)))
+// encodeBody writes the Huffman bit stream of q into a pooled writer and
+// returns the padded bytes appended to dst.
+func encodeBody(dst []byte, q []int32, cs *codeSet) []byte {
+	w := getWriter()
+	if cs.codesArr != nil {
+		for _, v := range q {
+			w.WriteBits(cs.codesArr[v-cs.lo], uint(cs.lensArr[v-cs.lo]))
+		}
+	} else {
+		for _, v := range q {
+			w.WriteBits(cs.codes[v], cs.lens[v])
+		}
+	}
+	dst = append(dst, w.Bytes()...)
+	writerPool.Put(w)
+	return dst
+}
+
+// appendTableHeader appends the canonical table header: count of samples,
+// table size, then (zigzag delta symbol, length) pairs.
+func appendTableHeader(hdr []byte, nsamp int, table []symLen) []byte {
+	hdr = binary.AppendUvarint(hdr, uint64(nsamp))
 	hdr = binary.AppendUvarint(hdr, uint64(len(table)))
 	prevSym := int64(0)
 	for _, sl := range table {
@@ -199,25 +259,28 @@ func Encode(q []int32) []byte {
 		hdr = binary.AppendUvarint(hdr, uint64(sl.len))
 		prevSym = int64(sl.sym)
 	}
+	return hdr
+}
 
-	w := bitstream.NewWriter(len(q)/2 + 16)
-	if codesArr != nil {
-		for _, v := range q {
-			w.WriteBits(codesArr[v-lo], uint(lensArr[v-lo]))
-		}
-	} else {
-		for _, v := range q {
-			w.WriteBits(codes[v], lens[v])
-		}
+// Encode compresses q into a self-describing byte stream.
+func Encode(q []int32) []byte {
+	table := []symLen(nil)
+	if len(q) > 0 {
+		table = codeLengths(q)
 	}
-	body := w.Bytes()
+	lo, hi, dense := symbolRange(q)
+	cs := buildCodes(table, lo, hi, dense && len(q) > 0)
 
-	out := make([]byte, 0, len(hdr)+len(body)+8)
+	hdr := make([]byte, 0, 16+len(table)*3)
+	hdr = appendTableHeader(hdr, len(q), table)
+
+	out := make([]byte, 0, len(hdr)+len(q)/2+24)
 	out = binary.AppendUvarint(out, uint64(len(hdr)))
 	out = append(out, hdr...)
-	out = append(out, body...)
-	return out
+	return encodeBody(out, q, &cs)
 }
+
+// --- decoding ---
 
 // decTable holds canonical decoding state for one code length.
 type decTable struct {
@@ -226,8 +289,157 @@ type decTable struct {
 	count     int    // number of codes of this length
 }
 
-// Decode reverses Encode.
+// fastBits sizes the one-lookup decode table; the overwhelming majority of
+// symbols in a skewed index distribution decode in one lookup.
+const fastBits = 12
+
+type fastEnt struct {
+	sym int32
+	len uint8
+}
+
+var fastPool = sync.Pool{New: func() any {
+	s := make([]fastEnt, 1<<fastBits)
+	return &s
+}}
+
+// parseTableHeader parses the canonical table header (after the sample
+// count), returning the symbols and code lengths.
+func parseTableHeader(hdr []byte) (syms []int32, lengths []int, err error) {
+	ntab, k := binary.Uvarint(hdr)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("%w: bad table size", ErrCorrupt)
+	}
+	hdr = hdr[k:]
+	// Each table entry costs at least 2 bytes (>=1-byte symbol delta plus a
+	// 1-byte length), so reject hostile sizes before allocating.
+	if 2*ntab > uint64(len(hdr))+1 {
+		return nil, nil, fmt.Errorf("%w: table size %d exceeds header", ErrCorrupt, ntab)
+	}
+
+	syms = make([]int32, ntab)
+	lengths = make([]int, ntab)
+	prevSym := int64(0)
+	prevLen := 0
+	for i := range syms {
+		ds, k := binary.Varint(hdr)
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("%w: bad symbol delta", ErrCorrupt)
+		}
+		hdr = hdr[k:]
+		l, k := binary.Uvarint(hdr)
+		if k <= 0 || l == 0 || l > maxCodeLen {
+			return nil, nil, fmt.Errorf("%w: bad code length", ErrCorrupt)
+		}
+		hdr = hdr[k:]
+		if int(l) < prevLen {
+			return nil, nil, fmt.Errorf("%w: non-monotonic code lengths", ErrCorrupt)
+		}
+		prevSym += ds
+		if prevSym < -1<<31 || prevSym > 1<<31-1 {
+			return nil, nil, fmt.Errorf("%w: symbol out of int32 range", ErrCorrupt)
+		}
+		syms[i] = int32(prevSym)
+		lengths[i] = int(l)
+		prevLen = int(l)
+	}
+	return syms, lengths, nil
+}
+
+// decoder holds the immutable canonical decode tables for one stream; a
+// single decoder can decode multiple shard bodies concurrently.
+type decoder struct {
+	syms   []int32
+	tables [maxCodeLen + 1]decTable
+	fast   []fastEnt // pooled; release() returns it
+}
+
+// newDecoder builds per-length canonical tables plus the table-driven fast
+// path for codes up to fastBits long.
+func newDecoder(syms []int32, lengths []int) *decoder {
+	d := &decoder{syms: syms}
+	p := fastPool.Get().(*[]fastEnt)
+	d.fast = *p
+	clear(d.fast)
+	var code uint64
+	prevLen := 0
+	for i := range syms {
+		l := lengths[i]
+		if prevLen != 0 {
+			code = (code + 1) << uint(l-prevLen)
+		}
+		if d.tables[l].count == 0 {
+			d.tables[l].firstCode = code
+			d.tables[l].firstIdx = i
+		}
+		d.tables[l].count++
+		if l <= fastBits {
+			base := code << uint(fastBits-l)
+			span := uint64(1) << uint(fastBits-l)
+			for j := base; j < base+span; j++ {
+				d.fast[j] = fastEnt{syms[i], uint8(l)}
+			}
+		}
+		prevLen = l
+	}
+	return d
+}
+
+// release returns the pooled fast table. The decoder must not be used
+// afterwards.
+func (d *decoder) release() {
+	fast := d.fast
+	d.fast = nil
+	fastPool.Put(&fast)
+}
+
+// decodeBody decodes exactly len(out) symbols from body into out. It is
+// safe to call concurrently on one decoder with distinct bodies/outputs.
+func (d *decoder) decodeBody(body []byte, out []int32) error {
+	r := bitstream.NewReader(body)
+	for i := range out {
+		if e := d.fast[r.PeekBits(fastBits)]; e.len != 0 {
+			if err := r.Skip(uint(e.len)); err != nil {
+				return fmt.Errorf("%w: truncated body", ErrCorrupt)
+			}
+			out[i] = e.sym
+			continue
+		}
+		// Slow path: codes longer than fastBits.
+		var v uint64
+		l := 0
+		for {
+			b, err := r.ReadBit()
+			if err != nil {
+				return fmt.Errorf("%w: truncated body", ErrCorrupt)
+			}
+			v = v<<1 | uint64(b)
+			l++
+			if l > maxCodeLen {
+				return fmt.Errorf("%w: code overflow", ErrCorrupt)
+			}
+			t := d.tables[l]
+			if t.count > 0 && v >= t.firstCode && v < t.firstCode+uint64(t.count) {
+				out[i] = d.syms[t.firstIdx+int(v-t.firstCode)]
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Decode reverses Encode (and decodes sharded streams sequentially).
 func Decode(data []byte) ([]int32, error) {
+	return DecodeParallel(data, 1)
+}
+
+// DecodeParallel decodes a Huffman stream on up to workers goroutines.
+// Legacy single-body streams decode sequentially regardless of workers;
+// sharded streams (EncodeSharded) decode their shards concurrently.
+func DecodeParallel(data []byte, workers int) ([]int32, error) {
+	if len(data) > 0 && data[0] == shardedMarker {
+		return decodeSharded(data, workers)
+	}
 	hdrLen, n := binary.Uvarint(data)
 	if n <= 0 || hdrLen > uint64(len(data)-n) {
 		return nil, fmt.Errorf("%w: bad header length", ErrCorrupt)
@@ -240,109 +452,22 @@ func Decode(data []byte) ([]int32, error) {
 		return nil, fmt.Errorf("%w: bad sample count", ErrCorrupt)
 	}
 	hdr = hdr[k:]
-	ntab, k := binary.Uvarint(hdr)
-	if k <= 0 {
-		return nil, fmt.Errorf("%w: bad table size", ErrCorrupt)
+	syms, lengths, err := parseTableHeader(hdr)
+	if err != nil {
+		return nil, err
 	}
-	hdr = hdr[k:]
-	if nsamp > 0 && ntab == 0 {
+	if nsamp > 0 && len(syms) == 0 {
 		return nil, fmt.Errorf("%w: empty table with %d samples", ErrCorrupt, nsamp)
 	}
 	if nsamp == 0 {
 		return []int32{}, nil
 	}
-	if ntab > uint64(len(hdr)) { // each entry needs ≥2 bytes... ≥1; sanity cap
-		return nil, fmt.Errorf("%w: table size %d exceeds header", ErrCorrupt, ntab)
-	}
 
-	syms := make([]int32, ntab)
-	lengths := make([]int, ntab)
-	prevSym := int64(0)
-	prevLen := 0
-	for i := range syms {
-		ds, k := binary.Varint(hdr)
-		if k <= 0 {
-			return nil, fmt.Errorf("%w: bad symbol delta", ErrCorrupt)
-		}
-		hdr = hdr[k:]
-		l, k := binary.Uvarint(hdr)
-		if k <= 0 || l == 0 || l > maxCodeLen {
-			return nil, fmt.Errorf("%w: bad code length", ErrCorrupt)
-		}
-		hdr = hdr[k:]
-		if int(l) < prevLen {
-			return nil, fmt.Errorf("%w: non-monotonic code lengths", ErrCorrupt)
-		}
-		prevSym += ds
-		if prevSym < -1<<31 || prevSym > 1<<31-1 {
-			return nil, fmt.Errorf("%w: symbol out of int32 range", ErrCorrupt)
-		}
-		syms[i] = int32(prevSym)
-		lengths[i] = int(l)
-		prevLen = int(l)
-	}
-
-	// Build per-length canonical tables plus a table-driven fast path for
-	// codes up to fastBits long (the overwhelming majority of symbols in a
-	// skewed index distribution decode in one lookup).
-	const fastBits = 12
-	type fastEnt struct {
-		sym int32
-		len uint8
-	}
-	fast := make([]fastEnt, 1<<fastBits)
-	tables := make([]decTable, maxCodeLen+1)
-	var code uint64
-	prevLen = 0
-	for i := range syms {
-		l := lengths[i]
-		if prevLen != 0 {
-			code = (code + 1) << uint(l-prevLen)
-		}
-		if tables[l].count == 0 {
-			tables[l].firstCode = code
-			tables[l].firstIdx = i
-		}
-		tables[l].count++
-		if l <= fastBits {
-			base := code << uint(fastBits-l)
-			span := uint64(1) << uint(fastBits-l)
-			for j := base; j < base+span; j++ {
-				fast[j] = fastEnt{syms[i], uint8(l)}
-			}
-		}
-		prevLen = l
-	}
-
-	r := bitstream.NewReader(body)
+	d := newDecoder(syms, lengths)
+	defer d.release()
 	out := make([]int32, nsamp)
-	for i := range out {
-		if e := fast[r.PeekBits(fastBits)]; e.len != 0 {
-			if err := r.Skip(uint(e.len)); err != nil {
-				return nil, fmt.Errorf("%w: truncated body", ErrCorrupt)
-			}
-			out[i] = e.sym
-			continue
-		}
-		// Slow path: codes longer than fastBits.
-		var v uint64
-		l := 0
-		for {
-			b, err := r.ReadBit()
-			if err != nil {
-				return nil, fmt.Errorf("%w: truncated body", ErrCorrupt)
-			}
-			v = v<<1 | uint64(b)
-			l++
-			if l > maxCodeLen {
-				return nil, fmt.Errorf("%w: code overflow", ErrCorrupt)
-			}
-			t := tables[l]
-			if t.count > 0 && v >= t.firstCode && v < t.firstCode+uint64(t.count) {
-				out[i] = syms[t.firstIdx+int(v-t.firstCode)]
-				break
-			}
-		}
+	if err := d.decodeBody(body, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,174 @@
+package huffman
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scdc/internal/parallel"
+)
+
+// Sharded Huffman container: the symbol stream is split into K contiguous
+// shards that share one canonical code table, so encoding and decoding
+// parallelize across shards with zero ratio loss beyond K-1 byte paddings
+// and the small shard directory.
+//
+// Layout:
+//
+//	0x00                      marker (legacy streams start with
+//	                          uvarint(hdrLen) >= 2, so a leading zero byte
+//	                          is unambiguous)
+//	0x01                      sub-format version
+//	uvarint(hdrLen) hdr       shared canonical table header, identical to
+//	                          the legacy header (total sample count, table
+//	                          size, zigzag delta symbol/length pairs)
+//	uvarint(K)                shard count
+//	K x { uvarint(nsamp_i), uvarint(bodyLen_i) }
+//	K concatenated bodies     each an independently padded bit stream
+
+const (
+	shardedMarker  = 0x00
+	shardedVersion = 0x01
+)
+
+// minShardSamples keeps shards large enough that the per-shard padding and
+// directory entry are noise relative to the body.
+const minShardSamples = 4096
+
+// EncodeSharded compresses q as shards independent sub-streams under one
+// shared code table, encoding shard bodies on up to workers goroutines.
+// shards <= 1 (or a stream too small to split) falls back to the legacy
+// single-body format, so the output is always decodable by Decode.
+func EncodeSharded(q []int32, shards, workers int) []byte {
+	if maxSh := len(q) / minShardSamples; shards > maxSh {
+		shards = maxSh
+	}
+	if shards <= 1 {
+		return Encode(q)
+	}
+
+	table := codeLengths(q)
+	lo, hi, dense := symbolRange(q)
+	cs := buildCodes(table, lo, hi, dense)
+
+	hdr := make([]byte, 0, 16+len(table)*3)
+	hdr = appendTableHeader(hdr, len(q), table)
+
+	bodies := make([][]byte, shards)
+	parallel.ForEach(shards, workers, func(i int) {
+		lo := i * len(q) / shards
+		hi := (i + 1) * len(q) / shards
+		bodies[i] = encodeBody(make([]byte, 0, (hi-lo)/2+8), q[lo:hi], &cs)
+	})
+
+	out := make([]byte, 0, 4+len(hdr)+len(q)/2+8*shards)
+	out = append(out, shardedMarker, shardedVersion)
+	out = binary.AppendUvarint(out, uint64(len(hdr)))
+	out = append(out, hdr...)
+	out = binary.AppendUvarint(out, uint64(shards))
+	for i := range bodies {
+		lo := i * len(q) / shards
+		hi := (i + 1) * len(q) / shards
+		out = binary.AppendUvarint(out, uint64(hi-lo))
+		out = binary.AppendUvarint(out, uint64(len(bodies[i])))
+	}
+	for _, b := range bodies {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// decodeSharded decodes the sharded container, decoding shard bodies on up
+// to workers goroutines.
+func decodeSharded(data []byte, workers int) ([]int32, error) {
+	if len(data) < 2 || data[0] != shardedMarker {
+		return nil, fmt.Errorf("%w: bad sharded marker", ErrCorrupt)
+	}
+	if data[1] != shardedVersion {
+		return nil, fmt.Errorf("%w: unsupported sharded version %d", ErrCorrupt, data[1])
+	}
+	data = data[2:]
+
+	hdrLen, n := binary.Uvarint(data)
+	if n <= 0 || hdrLen > uint64(len(data)-n) {
+		return nil, fmt.Errorf("%w: bad header length", ErrCorrupt)
+	}
+	hdr := data[n : n+int(hdrLen)]
+	data = data[n+int(hdrLen):]
+
+	nsamp, k := binary.Uvarint(hdr)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad sample count", ErrCorrupt)
+	}
+	syms, lengths, err := parseTableHeader(hdr[k:])
+	if err != nil {
+		return nil, err
+	}
+	if nsamp > 0 && len(syms) == 0 {
+		return nil, fmt.Errorf("%w: empty table with %d samples", ErrCorrupt, nsamp)
+	}
+
+	nShards, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: bad shard count", ErrCorrupt)
+	}
+	data = data[k:]
+	// Each directory entry costs at least 2 bytes.
+	if 2*nShards > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: shard count %d exceeds stream", ErrCorrupt, nShards)
+	}
+
+	type shard struct {
+		off     int // symbol offset into out
+		count   int
+		bodyOff int
+		bodyLen int
+	}
+	dir := make([]shard, nShards)
+	symOff, bodyOff := 0, 0
+	for i := range dir {
+		cnt, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: bad shard sample count", ErrCorrupt)
+		}
+		data = data[k:]
+		bl, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: bad shard body length", ErrCorrupt)
+		}
+		data = data[k:]
+		if cnt > nsamp-uint64(symOff) {
+			return nil, fmt.Errorf("%w: shard sample counts exceed total", ErrCorrupt)
+		}
+		dir[i] = shard{off: symOff, count: int(cnt), bodyOff: bodyOff, bodyLen: int(bl)}
+		symOff += int(cnt)
+		if bl > uint64(len(data)) || uint64(bodyOff) > uint64(len(data))-bl {
+			return nil, fmt.Errorf("%w: shard bodies exceed stream", ErrCorrupt)
+		}
+		bodyOff += int(bl)
+	}
+	if uint64(symOff) != nsamp {
+		return nil, fmt.Errorf("%w: shard sample counts sum to %d, want %d", ErrCorrupt, symOff, nsamp)
+	}
+	if bodyOff > len(data) {
+		return nil, fmt.Errorf("%w: shard bodies exceed stream", ErrCorrupt)
+	}
+
+	out := make([]int32, nsamp)
+	if nsamp == 0 {
+		return out, nil
+	}
+	d := newDecoder(syms, lengths)
+	defer d.release()
+	errs := make([]error, nShards)
+	parallel.ForEach(int(nShards), workers, func(i int) {
+		sh := dir[i]
+		body := data[sh.bodyOff : sh.bodyOff+sh.bodyLen]
+		errs[i] = d.decodeBody(body, out[sh.off:sh.off+sh.count])
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return out, nil
+}

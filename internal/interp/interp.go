@@ -71,6 +71,35 @@ func Line(at func(int) float64, n, t, s int, kind Kind) float64 {
 	}
 }
 
+// LineSlice is Line specialized to a strided slice: it predicts the value
+// at position t along the line starting at flat index base with flat
+// stride strd in data. It selects exactly the same kernels as Line and
+// performs the arithmetic in the same order, so predictions are
+// bit-identical to the closure form — but the call compiles to direct
+// loads with no per-point closure, which is what the batched compression
+// engine's hot loops require.
+func LineSlice(data []float64, base, strd, n, t, s int, kind Kind) float64 {
+	hasR := t+s < n
+	hasL3 := t-3*s >= 0
+	hasR3 := t+3*s < n
+	o := base + t*strd
+	ss := s * strd
+	switch {
+	case kind == Cubic && hasL3 && hasR3:
+		return Cubic4(data[o-3*ss], data[o-ss], data[o+ss], data[o+3*ss])
+	case kind == Cubic && hasL3 && hasR:
+		return Quad3Left(data[o-3*ss], data[o-ss], data[o+ss])
+	case kind == Cubic && hasR3: // implies hasR; left third missing
+		return Quad3Right(data[o-ss], data[o+ss], data[o+3*ss])
+	case hasR:
+		return Mid2(data[o-ss], data[o+ss])
+	case hasL3:
+		return ExtrapLeft2(data[o-3*ss], data[o-ss])
+	default:
+		return data[o-ss]
+	}
+}
+
 // LineMulti predicts at position t by averaging the 1D Line predictions of
 // every direction listed in dirs, each with its own extent/position/stride.
 // This is the multi-dimensional interpolation mode of HPEZ: it pools

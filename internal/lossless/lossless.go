@@ -17,10 +17,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // ErrCorrupt reports a malformed lossless stream.
 var ErrCorrupt = errors.New("lossless: corrupt stream")
+
+var flateWriterPool = sync.Pool{New: func() any {
+	w, _ := flate.NewWriter(io.Discard, flate.DefaultCompression)
+	return w
+}}
+
+var flateReaderPool = sync.Pool{New: func() any {
+	return flate.NewReader(bytes.NewReader(nil))
+}}
 
 // Codec identifies a lossless back-end.
 type Codec byte
@@ -64,16 +74,17 @@ func Compress(c Codec, src []byte) ([]byte, error) {
 	case Flate:
 		var buf bytes.Buffer
 		buf.Write(hdr)
-		w, err := flate.NewWriter(&buf, flate.DefaultCompression)
-		if err != nil {
-			return nil, err
-		}
+		// Flate writers carry large internal match/window state; recycling
+		// them removes the dominant per-call allocation of this stage.
+		w := flateWriterPool.Get().(*flate.Writer)
+		w.Reset(&buf)
 		if _, err := w.Write(src); err != nil {
 			return nil, err
 		}
 		if err := w.Close(); err != nil {
 			return nil, err
 		}
+		flateWriterPool.Put(w)
 		return buf.Bytes(), nil
 	case LZ:
 		return append(hdr, lzCompress(src)...), nil
@@ -102,8 +113,10 @@ func Decompress(data []byte) ([]byte, error) {
 		}
 		return append([]byte(nil), body...), nil
 	case Flate:
-		r := flate.NewReader(bytes.NewReader(body))
-		defer r.Close()
+		r := flateReaderPool.Get().(io.ReadCloser)
+		if err := r.(flate.Resetter).Reset(bytes.NewReader(body), nil); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
 		out := make([]byte, 0, n)
 		buf := bytes.NewBuffer(out)
 		if _, err := io.Copy(buf, io.LimitReader(r, int64(n)+1)); err != nil {
@@ -112,6 +125,7 @@ func Decompress(data []byte) ([]byte, error) {
 		if uint64(buf.Len()) != n {
 			return nil, fmt.Errorf("%w: flate length mismatch", ErrCorrupt)
 		}
+		flateReaderPool.Put(r)
 		return buf.Bytes(), nil
 	case LZ:
 		return lzDecompress(body, int(n))

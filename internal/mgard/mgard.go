@@ -59,6 +59,12 @@ type Options struct {
 	Radius int32
 	// Lossless selects the final back-end. Default Flate.
 	Lossless lossless.Codec
+	// Workers caps the number of goroutines used for entropy coding; the
+	// MGARD decomposition itself is sequential.
+	Workers int
+	// Shards splits the entropy-coded index stream into independently
+	// decodable Huffman shards. <= 1 keeps the legacy single-body stream.
+	Shards int
 	// Trace optionally captures internals for characterization.
 	Trace *sz3.Trace
 }
@@ -143,7 +149,7 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		}
 	}
 
-	huff, kept := core.ChooseEncoding(q, qp)
+	huff, kept := core.ChooseEncodingSharded(q, qp, opts.Shards, opts.Workers)
 	qpCfg := opts.QP
 	if !kept {
 		qpCfg = core.Config{}
@@ -171,6 +177,13 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 // Decompress reconstructs a field with the given dims from an MGARD
 // payload.
 func Decompress(payload []byte, dims []int) (*grid.Field, error) {
+	return DecompressWorkers(payload, dims, 1)
+}
+
+// DecompressWorkers is Decompress with up to workers goroutines applied to
+// entropy decoding of sharded streams. The reconstruction is byte-identical
+// for any worker count.
+func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, error) {
 	n, err := grid.CheckDims(dims)
 	if err != nil {
 		return nil, err
@@ -228,7 +241,7 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 		return nil, fmt.Errorf("%w: bad huffman length", ErrCorrupt)
 	}
 	buf = buf[k:]
-	enc, err := huffman.Decode(buf[:hl])
+	enc, err := huffman.DecodeParallel(buf[:hl], workers)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}

@@ -5,7 +5,6 @@ import (
 
 	"scdc/internal/core"
 	"scdc/internal/grid"
-	"scdc/internal/interp"
 	"scdc/internal/quantizer"
 	"scdc/internal/sz3"
 )
@@ -31,16 +30,21 @@ func forEachAnchor(dims []int, levels int, fn func(idx int)) {
 	walk(0, 0)
 }
 
-// compressCore runs the interpolation pipeline with a resolved plan. data
-// is overwritten with decompressed values. Returns the anchor values and
-// the literal stream.
-func compressCore(data []float64, dims []int, pl plan, q, qp []int32, pred *core.Predictor) (anchors, literals []float64) {
-	strides := grid.Strides(dims)
-	quants := make([]quantizer.Linear, pl.levels+1)
-	for l := 1; l <= pl.levels; l++ {
-		quants[l] = quantizer.Linear{EB: pl.ebs[l-1], Radius: pl.radius}
+// specFor adapts a resolved plan to the shared sz3 engine's per-level
+// schedule parameters.
+func (pl *plan) specFor(level int) sz3.LevelSpec {
+	return sz3.LevelSpec{
+		Order: pl.orders[level-1],
+		Kind:  pl.kinds[level-1],
+		Quant: quantizer.Linear{EB: pl.ebs[level-1], Radius: pl.radius},
 	}
+}
 
+// compressCore runs the interpolation pipeline with a resolved plan on up
+// to workers goroutines (the output is identical for any worker count).
+// data is overwritten with decompressed values. Returns the anchor values
+// and the literal stream.
+func compressCore(data []float64, dims []int, pl plan, q, qp []int32, pred *core.Predictor, workers int) (anchors, literals []float64) {
 	center := pl.radius
 	forEachAnchor(dims, pl.levels, func(idx int) {
 		anchors = append(anchors, data[idx])
@@ -49,37 +53,13 @@ func compressCore(data []float64, dims []int, pl plan, q, qp []int32, pred *core
 			qp[idx] = center
 		}
 	})
-
-	sz3.WalkSchedule(dims, strides, pl.levels, func(level int) []int {
-		return pl.orders[level-1]
-	}, func(pt *sz3.Point) {
-		base, strd := pt.LineBase, pt.LineStrd
-		p := interp.Line(func(pos int) float64 {
-			return data[base+pos*strd]
-		}, pt.N, pt.T, pt.S, pl.kinds[pt.Level-1])
-		quant := quants[pt.Level]
-		sym, dec, ok := quant.Quantize(data[pt.Idx], p)
-		q[pt.Idx] = sym
-		if !ok {
-			literals = append(literals, data[pt.Idx])
-		}
-		data[pt.Idx] = dec
-		if qp != nil {
-			qp[pt.Idx] = q[pt.Idx] - pred.Compensate(q, pt.NB)
-		}
-	})
+	literals = sz3.CompressSchedule(data, dims, pl.levels, workers, pl.specFor, q, qp, pred, nil)
 	return anchors, literals
 }
 
 // decompressCore reverses compressCore. enc is overwritten in place with
 // the recovered original symbols.
-func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, literals []float64, pred *core.Predictor) error {
-	strides := grid.Strides(dims)
-	quants := make([]quantizer.Linear, pl.levels+1)
-	for l := 1; l <= pl.levels; l++ {
-		quants[l] = quantizer.Linear{EB: pl.ebs[l-1], Radius: pl.radius}
-	}
-
+func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, literals []float64, pred *core.Predictor, workers int) error {
 	ai := 0
 	center := pl.radius
 	var decErr error
@@ -101,40 +81,5 @@ func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, l
 	if ai != len(anchors) {
 		return fmt.Errorf("%w: %d unused anchors", ErrCorrupt, len(anchors)-ai)
 	}
-
-	lit := 0
-	sz3.WalkSchedule(dims, strides, pl.levels, func(level int) []int {
-		return pl.orders[level-1]
-	}, func(pt *sz3.Point) {
-		if decErr != nil {
-			return
-		}
-		base, strd := pt.LineBase, pt.LineStrd
-		p := interp.Line(func(pos int) float64 {
-			return data[base+pos*strd]
-		}, pt.N, pt.T, pt.S, pl.kinds[pt.Level-1])
-		var c int32
-		if pred != nil {
-			c = pred.Compensate(enc, pt.NB)
-		}
-		sym := enc[pt.Idx] + c
-		enc[pt.Idx] = sym
-		if sym == quantizer.Unpredictable {
-			if lit >= len(literals) {
-				decErr = fmt.Errorf("%w: literal stream exhausted", ErrCorrupt)
-				return
-			}
-			data[pt.Idx] = literals[lit]
-			lit++
-			return
-		}
-		data[pt.Idx] = quants[pt.Level].Recover(p, sym)
-	})
-	if decErr != nil {
-		return decErr
-	}
-	if lit != len(literals) {
-		return fmt.Errorf("%w: %d unused literals", ErrCorrupt, len(literals)-lit)
-	}
-	return nil
+	return sz3.DecompressSchedule(data, dims, pl.levels, workers, pl.specFor, enc, literals, 0, pred, ErrCorrupt)
 }

@@ -56,6 +56,12 @@ type Options struct {
 	// Tune enables the auto-tuner. When false, QoZ behaves like SZ3 with
 	// an anchor grid (cubic, default order, alpha=1).
 	Tune bool
+	// Workers caps the number of goroutines used inside one Compress call.
+	// <= 1 runs sequentially; the output is byte-identical either way.
+	Workers int
+	// Shards splits the entropy-coded index stream into independently
+	// decodable Huffman shards. <= 1 keeps the legacy single-body stream.
+	Shards int
 	// Trace optionally captures internals for characterization.
 	Trace *sz3.Trace
 }
@@ -109,8 +115,13 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	}
 	pl := buildPlan(f, opts)
 
-	data := append([]float64(nil), f.Data...)
-	q := make([]int32, len(data))
+	// Pooled scratch (see internal/quantizer): every slot is written before
+	// it is read, so recycled contents are fine.
+	data := quantizer.GetFloatBuf(len(f.Data))
+	defer quantizer.PutFloatBuf(data)
+	copy(data, f.Data)
+	q := quantizer.GetIndexBuf(len(data))
+	defer quantizer.PutIndexBuf(q)
 	var qp []int32
 	var pred *core.Predictor
 	var err error
@@ -119,10 +130,11 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		qp = make([]int32, len(data))
+		qp = quantizer.GetIndexBuf(len(data))
+		defer quantizer.PutIndexBuf(qp)
 	}
 
-	anchors, literals := compressCore(data, f.Dims(), pl, q, qp, pred)
+	anchors, literals := compressCore(data, f.Dims(), pl, q, qp, pred, opts.Workers)
 
 	if opts.Trace != nil {
 		opts.Trace.Mode = sz3.ModeInterp
@@ -134,7 +146,7 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		}
 	}
 
-	huff, kept := core.ChooseEncoding(q, qp)
+	huff, kept := core.ChooseEncodingSharded(q, qp, opts.Shards, opts.Workers)
 	if !kept {
 		pl.qp = core.Config{}
 	}
@@ -231,6 +243,13 @@ func decodePlan(buf []byte, nd int) (plan, []byte, error) {
 
 // Decompress reconstructs a field with the given dims from a QoZ payload.
 func Decompress(payload []byte, dims []int) (*grid.Field, error) {
+	return DecompressWorkers(payload, dims, 1)
+}
+
+// DecompressWorkers is Decompress with up to workers goroutines applied to
+// entropy decoding (for sharded streams) and interpolation passes. The
+// reconstruction is byte-identical for any worker count.
+func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, error) {
 	n, err := grid.CheckDims(dims)
 	if err != nil {
 		return nil, err
@@ -260,7 +279,7 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 		return nil, fmt.Errorf("%w: bad huffman length", ErrCorrupt)
 	}
 	buf = buf[k:]
-	enc, err := huffman.Decode(buf[:hl])
+	enc, err := huffman.DecodeParallel(buf[:hl], workers)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -289,7 +308,7 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 	}
-	if err := decompressCore(out.Data, dims, pl, enc, anchors, literals, pred); err != nil {
+	if err := decompressCore(out.Data, dims, pl, enc, anchors, literals, pred, workers); err != nil {
 		return nil, err
 	}
 	return out, nil

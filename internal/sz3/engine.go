@@ -1,0 +1,285 @@
+package sz3
+
+import (
+	"fmt"
+
+	"scdc/internal/core"
+	"scdc/internal/grid"
+	"scdc/internal/interp"
+	"scdc/internal/parallel"
+	"scdc/internal/quantizer"
+)
+
+// This file is the intra-field parallel compression engine shared by SZ3
+// and QoZ (both drive the same multilevel interpolation schedule).
+//
+// Parallelism invariant: within one pass, every predicted point reads only
+// (a) lattice values at even multiples of s along its own line — all
+// established before the pass starts — and (b) its own slot of data/q.
+// Lines of a pass therefore never read each other's writes, so a pass can
+// be split across workers at line granularity and still produce the exact
+// floating-point results of the sequential sweep.
+//
+// The QP index transform is the one stage with intra-pass coupling: the
+// Left/Top neighbors of a point belong to other lines of the same pass.
+// It is therefore run as a separate sequential sweep over the index array
+// after each pass (compression) or before it (decompression) — integer
+// work with no interpolation, a small fraction of pass cost — preserving
+// QP's bit-exact reversibility contract.
+
+// minParallelPoints is the smallest pass size (in predicted points) worth
+// fanning out; below it the goroutine handoff costs more than the work.
+const minParallelPoints = 4096
+
+// LevelSpec supplies the per-level parameters of an interpolation
+// schedule: the direction order, spline kind and quantizer for that level.
+// SZ3 uses one spec for all levels; QoZ tunes each level separately.
+type LevelSpec struct {
+	Order []int
+	Kind  interp.Kind
+	Quant quantizer.Linear
+}
+
+// CompressSchedule runs interpolation + quantization over the full
+// multilevel schedule, splitting each pass's lines across up to workers
+// goroutines (workers <= 1 is the sequential path; both produce identical
+// q, qp, data and literal streams). Stored symbols go to q; when qp is
+// non-nil the QP-transformed symbols go to qp via pred. New unpredictable
+// values are appended to literals, which is returned.
+func CompressSchedule(data []float64, dims []int, levels, workers int,
+	specFor func(level int) LevelSpec,
+	q, qp []int32, pred *core.Predictor, literals []float64) []float64 {
+
+	strides := grid.Strides(dims)
+	for level := levels; level >= 1; level-- {
+		sp := specFor(level)
+		forEachPass(dims, strides, level, sp.Order, func(pa *pass) {
+			literals = compressPass(data, q, pa, sp.Kind, sp.Quant, workers, literals)
+			if qp != nil {
+				qpForwardPass(pa, q, qp, pred)
+			}
+		})
+	}
+	return literals
+}
+
+// DecompressSchedule reverses CompressSchedule. enc holds the stored
+// (possibly QP-transformed) symbols and is overwritten in place with the
+// recovered original symbols. lit0 is the number of literals already
+// consumed (the origin/anchor stage precedes the schedule). corrupt is the
+// caller's sentinel error for malformed streams.
+func DecompressSchedule(data []float64, dims []int, levels, workers int,
+	specFor func(level int) LevelSpec,
+	enc []int32, literals []float64, lit0 int, pred *core.Predictor, corrupt error) error {
+
+	strides := grid.Strides(dims)
+	lit := lit0
+	var decErr error
+	for level := levels; level >= 1; level-- {
+		sp := specFor(level)
+		forEachPass(dims, strides, level, sp.Order, func(pa *pass) {
+			if decErr != nil {
+				return
+			}
+			if pred != nil {
+				qpInversePass(pa, enc, pred)
+			}
+			lit, decErr = decompressPass(data, enc, pa, sp.Kind, sp.Quant, workers, literals, lit, corrupt)
+		})
+		if decErr != nil {
+			return decErr
+		}
+	}
+	if lit != len(literals) {
+		return fmt.Errorf("%w: %d unused literals", corrupt, len(literals)-lit)
+	}
+	return nil
+}
+
+// passGrain picks the number of lines per work chunk so each handoff
+// covers at least ~1024 points while still yielding several chunks per
+// worker for load balance.
+func passGrain(pa *pass, workers int) int {
+	grain := pa.numLines / (4 * workers)
+	if minPts := (1024 + pa.pointsPerLine - 1) / pa.pointsPerLine; grain < minPts {
+		grain = minPts
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return grain
+}
+
+// compressLine interpolates and quantizes every predicted point of one
+// line, appending unpredictable values to lits.
+func compressLine(data []float64, q []int32, pa *pass, base int,
+	kind interp.Kind, quant quantizer.Linear, lits []float64) []float64 {
+
+	s, n, dstr := pa.s, pa.n, pa.dstr
+	for t := s; t < n; t += 2 * s {
+		idx := base + t*dstr
+		p := interp.LineSlice(data, base, dstr, n, t, s, kind)
+		sym, dec, ok := quant.Quantize(data[idx], p)
+		q[idx] = sym
+		if !ok {
+			lits = append(lits, data[idx])
+		}
+		data[idx] = dec
+	}
+	return lits
+}
+
+// compressPass runs one pass, in parallel when it is large enough.
+// Literals are gathered per chunk and concatenated in line order, so the
+// stream matches the sequential visit order exactly.
+func compressPass(data []float64, q []int32, pa *pass,
+	kind interp.Kind, quant quantizer.Linear, workers int, literals []float64) []float64 {
+
+	if workers <= 1 || pa.numLines < 2 || pa.numLines*pa.pointsPerLine < minParallelPoints {
+		for li := 0; li < pa.numLines; li++ {
+			base, _, _ := pa.line(li)
+			literals = compressLine(data, q, pa, base, kind, quant, literals)
+		}
+		return literals
+	}
+	grain := passGrain(pa, workers)
+	lits := make([][]float64, parallel.Chunks(pa.numLines, grain))
+	parallel.ForEachChunked(pa.numLines, workers, grain, func(lo, hi int) {
+		var buf []float64
+		for li := lo; li < hi; li++ {
+			base, _, _ := pa.line(li)
+			buf = compressLine(data, q, pa, base, kind, quant, buf)
+		}
+		lits[lo/grain] = buf
+	})
+	for _, b := range lits {
+		literals = append(literals, b...)
+	}
+	return literals
+}
+
+// qpForwardPass applies the compression-side QP transform to one pass:
+// qp[i] = q[i] - Compensate(q, nb). It reads only original symbols (all
+// written by compressPass), so running it after the pass is equivalent to
+// the interleaved sequential order.
+func qpForwardPass(pa *pass, q, qp []int32, pred *core.Predictor) {
+	if pred.Cfg.MaxLevel > 0 && pa.level > pred.Cfg.MaxLevel {
+		// Compensation is identically zero above MaxLevel; copy symbols.
+		copyPassSymbols(pa, q, qp)
+		return
+	}
+	var pt Point
+	for li := 0; li < pa.numLines; li++ {
+		base, hasLeft, hasTop := pa.line(li)
+		walkLinePoints(pa, base, hasLeft, hasTop, &pt, func(pt *Point) {
+			qp[pt.Idx] = q[pt.Idx] - pred.Compensate(q, pt.NB)
+		})
+	}
+}
+
+// qpInversePass recovers original symbols in place for one pass:
+// enc[i] += Compensate(enc, nb). The sweep runs in visit order so every
+// neighbor it reads has already been recovered (earlier lines of this
+// pass, or earlier passes).
+func qpInversePass(pa *pass, enc []int32, pred *core.Predictor) {
+	if pred.Cfg.MaxLevel > 0 && pa.level > pred.Cfg.MaxLevel {
+		return // compensation is identically zero: enc already holds Q
+	}
+	var pt Point
+	for li := 0; li < pa.numLines; li++ {
+		base, hasLeft, hasTop := pa.line(li)
+		walkLinePoints(pa, base, hasLeft, hasTop, &pt, func(pt *Point) {
+			enc[pt.Idx] += pred.Compensate(enc, pt.NB)
+		})
+	}
+}
+
+// copyPassSymbols sets qp[i] = q[i] for every point of the pass.
+func copyPassSymbols(pa *pass, q, qp []int32) {
+	s, n, dstr := pa.s, pa.n, pa.dstr
+	for li := 0; li < pa.numLines; li++ {
+		base, _, _ := pa.line(li)
+		for t := s; t < n; t += 2 * s {
+			idx := base + t*dstr
+			qp[idx] = q[idx]
+		}
+	}
+}
+
+// decompressLine reconstructs every predicted point of one line from
+// recovered symbols, consuming literals from index lit. ok is false when
+// the literal stream is exhausted.
+func decompressLine(data []float64, enc []int32, pa *pass, base int,
+	kind interp.Kind, quant quantizer.Linear, literals []float64, lit int) (int, bool) {
+
+	s, n, dstr := pa.s, pa.n, pa.dstr
+	for t := s; t < n; t += 2 * s {
+		idx := base + t*dstr
+		sym := enc[idx]
+		if sym == quantizer.Unpredictable {
+			if lit >= len(literals) {
+				return lit, false
+			}
+			data[idx] = literals[lit]
+			lit++
+			continue
+		}
+		p := interp.LineSlice(data, base, dstr, n, t, s, kind)
+		data[idx] = quant.Recover(p, sym)
+	}
+	return lit, true
+}
+
+// decompressPass reconstructs one pass. The parallel path first counts
+// unpredictable symbols per chunk (symbols are fully recovered by now), so
+// every chunk knows its literal cursor up front and lines decode
+// independently.
+func decompressPass(data []float64, enc []int32, pa *pass,
+	kind interp.Kind, quant quantizer.Linear, workers int,
+	literals []float64, lit int, corrupt error) (int, error) {
+
+	if workers <= 1 || pa.numLines < 2 || pa.numLines*pa.pointsPerLine < minParallelPoints {
+		for li := 0; li < pa.numLines; li++ {
+			base, _, _ := pa.line(li)
+			var ok bool
+			lit, ok = decompressLine(data, enc, pa, base, kind, quant, literals, lit)
+			if !ok {
+				return lit, fmt.Errorf("%w: literal stream exhausted", corrupt)
+			}
+		}
+		return lit, nil
+	}
+
+	grain := passGrain(pa, workers)
+	counts := make([]int, parallel.Chunks(pa.numLines, grain))
+	s, n, dstr := pa.s, pa.n, pa.dstr
+	parallel.ForEachChunked(pa.numLines, workers, grain, func(lo, hi int) {
+		c := 0
+		for li := lo; li < hi; li++ {
+			base, _, _ := pa.line(li)
+			for t := s; t < n; t += 2 * s {
+				if enc[base+t*dstr] == quantizer.Unpredictable {
+					c++
+				}
+			}
+		}
+		counts[lo/grain] = c
+	})
+	offs := make([]int, len(counts))
+	cur := lit
+	for c, cnt := range counts {
+		offs[c] = cur
+		cur += cnt
+	}
+	if cur > len(literals) {
+		return lit, fmt.Errorf("%w: literal stream exhausted", corrupt)
+	}
+	parallel.ForEachChunked(pa.numLines, workers, grain, func(lo, hi int) {
+		pos := offs[lo/grain]
+		for li := lo; li < hi; li++ {
+			base, _, _ := pa.line(li)
+			pos, _ = decompressLine(data, enc, pa, base, kind, quant, literals, pos)
+		}
+	})
+	return cur, nil
+}

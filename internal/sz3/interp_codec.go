@@ -1,10 +1,7 @@
 package sz3
 
 import (
-	"fmt"
-
 	"scdc/internal/core"
-	"scdc/internal/grid"
 	"scdc/internal/interp"
 	"scdc/internal/quantizer"
 )
@@ -13,39 +10,27 @@ import (
 // overwrites with decompressed values, as Algorithm 1 line 6 requires for
 // future predictions). It fills q with stored symbols, optionally fills qp
 // with QP-transformed symbols, and returns the literal stream of
-// unpredictable values.
+// unpredictable values. workers > 1 splits each interpolation pass across
+// goroutines; the output is identical to the sequential sweep.
 func compressInterp(data []float64, dims []int, opts Options, quant quantizer.Linear,
 	q, qp []int32, pred *core.Predictor, levels int) []float64 {
 
 	var literals []float64
-	strides := grid.Strides(dims)
-
-	quantAt := func(idx int, p float64) {
-		sym, dec, ok := quant.Quantize(data[idx], p)
-		q[idx] = sym
-		if !ok {
-			literals = append(literals, data[idx])
-		}
-		data[idx] = dec
-	}
 
 	// Origin point: predicted as 0 (first point of the top level).
-	quantAt(0, 0)
+	sym, dec, ok := quant.Quantize(data[0], 0)
+	q[0] = sym
+	if !ok {
+		literals = append(literals, data[0])
+	}
+	data[0] = dec
 	if qp != nil {
 		qp[0] = q[0]
 	}
 
-	forEachPoint(dims, strides, opts.DirOrder, levels, func(pt *Point) {
-		base, strd := pt.LineBase, pt.LineStrd
-		p := interp.Line(func(pos int) float64 {
-			return data[base+pos*strd]
-		}, pt.N, pt.T, pt.S, opts.Interp)
-		quantAt(pt.Idx, p)
-		if qp != nil {
-			qp[pt.Idx] = q[pt.Idx] - pred.Compensate(q, pt.NB)
-		}
-	})
-	return literals
+	spec := LevelSpec{Order: opts.DirOrder, Kind: opts.Interp, Quant: quant}
+	return CompressSchedule(data, dims, levels, opts.Workers,
+		func(int) LevelSpec { return spec }, q, qp, pred, literals)
 }
 
 // decompressInterp reconstructs data from the (possibly QP-transformed)
@@ -53,51 +38,27 @@ func compressInterp(data []float64, dims []int, opts Options, quant quantizer.Li
 // overwritten in place with the recovered original symbols so that QP can
 // read previously recovered neighbors.
 func decompressInterp(data []float64, dims []int, kind interp.Kind, dirOrder []int,
-	quant quantizer.Linear, enc []int32, literals []float64, pred *core.Predictor) error {
+	quant quantizer.Linear, enc []int32, literals []float64, pred *core.Predictor, workers int) error {
 
-	strides := grid.Strides(dims)
 	levels := Levels(dims)
 	lit := 0
-	var decErr error
 
-	recover := func(idx int, p float64, c int32) {
-		sym := enc[idx] + c
-		enc[idx] = sym
-		if sym == quantizer.Unpredictable {
-			if lit >= len(literals) {
-				if decErr == nil {
-					decErr = fmt.Errorf("%w: literal stream exhausted", ErrCorrupt)
-				}
-				return
-			}
-			data[idx] = literals[lit]
-			lit++
-			return
+	// Origin point: enc[0] is its own symbol (no compensation applies).
+	if enc[0] == quantizer.Unpredictable {
+		if len(literals) == 0 {
+			return errLiteralExhausted()
 		}
-		data[idx] = quant.Recover(p, sym)
+		data[0] = literals[0]
+		lit = 1
+	} else {
+		data[0] = quant.Recover(0, enc[0])
 	}
 
-	recover(0, 0, 0)
+	spec := LevelSpec{Order: dirOrder, Kind: kind, Quant: quant}
+	return DecompressSchedule(data, dims, levels, workers,
+		func(int) LevelSpec { return spec }, enc, literals, lit, pred, ErrCorrupt)
+}
 
-	forEachPoint(dims, strides, dirOrder, levels, func(pt *Point) {
-		if decErr != nil {
-			return
-		}
-		base, strd := pt.LineBase, pt.LineStrd
-		p := interp.Line(func(pos int) float64 {
-			return data[base+pos*strd]
-		}, pt.N, pt.T, pt.S, kind)
-		var c int32
-		if pred != nil {
-			c = pred.Compensate(enc, pt.NB)
-		}
-		recover(pt.Idx, p, c)
-	})
-	if decErr != nil {
-		return decErr
-	}
-	if lit != len(literals) {
-		return fmt.Errorf("%w: %d unused literals", ErrCorrupt, len(literals)-lit)
-	}
-	return nil
+func errLiteralExhausted() error {
+	return errCorruptf("literal stream exhausted")
 }

@@ -83,6 +83,14 @@ type Options struct {
 	// Off by default (the paper's QP only covers interpolation mode); the
 	// adaptive fallback still guards against regressions when enabled.
 	QPLorenzo bool
+	// Workers caps the number of goroutines used inside one Compress call
+	// (interpolation passes and Huffman shard encoding). <= 1 runs
+	// sequentially. The output is byte-identical for any worker count.
+	Workers int
+	// Shards splits the entropy-coded index stream into this many
+	// independently decodable Huffman shards sharing one code table, so
+	// decompression can fan out. <= 1 keeps the legacy single-body stream.
+	Shards int
 	// Trace, when non-nil, captures internals for characterization.
 	Trace *Trace
 }
@@ -185,8 +193,15 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		}
 	}
 
-	data := append([]float64(nil), f.Data...)
-	q := make([]int32, len(data))
+	// Pooled scratch: the working copy and index arrays are recycled across
+	// calls, so steady-state compression of same-shaped fields allocates
+	// O(1) here. Every slot is written before it is read (the schedules
+	// visit each point exactly once), so unspecified contents are fine.
+	data := quantizer.GetFloatBuf(len(f.Data))
+	defer quantizer.PutFloatBuf(data)
+	copy(data, f.Data)
+	q := quantizer.GetIndexBuf(len(data))
+	defer quantizer.PutIndexBuf(q)
 	var literals []float64
 
 	var qp []int32
@@ -197,7 +212,8 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		qp = make([]int32, len(data))
+		qp = quantizer.GetIndexBuf(len(data))
+		defer quantizer.PutIndexBuf(qp)
 	}
 
 	levels := Levels(f.Dims())
@@ -219,9 +235,9 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 
 	var huff []byte
 	if useQP && opts.ForceQP {
-		huff, _ = core.ChooseEncoding(qp, nil)
+		huff, _ = core.ChooseEncodingSharded(qp, nil, opts.Shards, opts.Workers)
 	} else {
-		huff, useQP = core.ChooseEncoding(q, qp)
+		huff, useQP = core.ChooseEncodingSharded(q, qp, opts.Shards, opts.Workers)
 	}
 
 	hdr := make([]byte, 0, 64)
@@ -252,6 +268,13 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 
 // Decompress reconstructs a field with the given dims from an SZ3 payload.
 func Decompress(payload []byte, dims []int) (*grid.Field, error) {
+	return DecompressWorkers(payload, dims, 1)
+}
+
+// DecompressWorkers is Decompress with up to workers goroutines applied to
+// entropy decoding (for sharded streams) and interpolation passes. The
+// reconstruction is byte-identical for any worker count.
+func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, error) {
 	n, err := grid.CheckDims(dims)
 	if err != nil {
 		return nil, err
@@ -313,7 +336,7 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 		return nil, fmt.Errorf("%w: bad huffman length", ErrCorrupt)
 	}
 	buf = buf[k:]
-	enc, err := huffman.Decode(buf[:hl])
+	enc, err := huffman.DecodeParallel(buf[:hl], workers)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -350,7 +373,7 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
 		}
-		if err := decompressInterp(out.Data, dims, kind, dirOrder, quant, enc, literals, pred); err != nil {
+		if err := decompressInterp(out.Data, dims, kind, dirOrder, quant, enc, literals, pred, workers); err != nil {
 			return nil, err
 		}
 	case ModeLorenzo:
@@ -375,4 +398,9 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// errCorruptf wraps ErrCorrupt with a formatted detail message.
+func errCorruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
 }

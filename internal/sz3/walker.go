@@ -74,8 +74,42 @@ func WalkSchedule(dims, strides []int, levels int, orderFor func(level int) []in
 // direction order. Used by the QoZ per-level tuner to sample one level's
 // residuals in isolation.
 func WalkScheduleLevel(dims, strides []int, level int, order []int, fn func(pt *Point)) {
+	forEachPass(dims, strides, level, order, func(pa *pass) {
+		var pt Point
+		for li := 0; li < pa.numLines; li++ {
+			base, hasLeft, hasTop := pa.line(li)
+			walkLinePoints(pa, base, hasLeft, hasTop, &pt, fn)
+		}
+	})
+}
+
+// pass describes one interpolation pass of one level: the points whose
+// Dir-coordinate is an odd multiple of s, on the lattice spanned by step
+// over the orthogonal axes. Every point of a pass depends only on lattice
+// points established by previous passes (interpolation reads positions at
+// even multiples of s along its own line only), so the pass's lines are
+// mutually independent — the invariant the parallel engine exploits.
+type pass struct {
+	dir, s, level int
+	n             int    // extent along dir
+	dstr          int    // flat stride along dir
+	step          [4]int // per-axis lattice step (0 on dir)
+	orth          [3]int // orthogonal axes, ascending (slowest first)
+	no            int    // number of real orthogonal axes
+	cnt           [3]int // lattice extent per orthogonal axis
+	stride        [3]int // flat stride per orthogonal lattice step
+	leftK, topK   int    // QP plane axes within orth (-1 when absent)
+	leftOff       int    // flat offset to the Left neighbor
+	topOff        int    // flat offset to the Top neighbor
+	backOff       int    // flat offset to the Back neighbor (2s along dir)
+	numLines      int
+	pointsPerLine int // number of predicted points per line
+}
+
+// forEachPass enumerates the passes of one level in direction order,
+// skipping degenerate directions exactly as the walk schedule requires.
+func forEachPass(dims, strides []int, level int, order []int, fn func(pa *pass)) {
 	nd := len(dims)
-	var pt Point
 	s := 1 << (level - 1)
 	done := make([]bool, nd)
 	for _, dir := range order {
@@ -94,107 +128,110 @@ func WalkScheduleLevel(dims, strides []int, level int, order []int, fn func(pt *
 				step[e] = 2 * s
 			}
 		}
-		walkPass(dims, strides, dir, s, level, step, &pt, fn)
+		pa := makePass(dims, strides, dir, s, level, step)
+		fn(&pa)
 		done[dir] = true
 	}
 }
 
-// walkPass iterates one interpolation pass: all lattice positions of the
-// orthogonal axes (outer loops, slowest axis first) crossed with the odd
-// multiples of s along dir (inner loop).
-func walkPass(dims, strides []int, dir, s, level int, step [4]int, pt *Point, fn func(pt *Point)) {
+// makePass resolves the lattice geometry of one pass.
+func makePass(dims, strides []int, dir, s, level int, step [4]int) pass {
 	nd := len(dims)
-	// Orthogonal axes in ascending order (slowest first).
-	var orth [3]int
-	no := 0
+	pa := pass{dir: dir, s: s, level: level, step: step}
 	for e := 0; e < nd; e++ {
 		if e != dir {
-			orth[no] = e
-			no++
+			pa.orth[pa.no] = e
+			pa.no++
 		}
 	}
-	// Lattice extent per orthogonal axis.
-	var cnt [3]int
+	pa.numLines = 1
 	for k := 0; k < 3; k++ {
-		if k < no {
-			cnt[k] = (dims[orth[k]]-1)/step[orth[k]] + 1
+		if k < pa.no {
+			ax := pa.orth[k]
+			pa.cnt[k] = (dims[ax]-1)/step[ax] + 1
+			pa.stride[k] = step[ax] * strides[ax]
 		} else {
-			cnt[k] = 1
+			pa.cnt[k] = 1
 		}
+		pa.numLines *= pa.cnt[k]
 	}
 	// QP plane axes: the two fastest orthogonal axes (largest axis index),
 	// which in ascending orth order are the last two real entries.
-	leftK, topK := -1, -1
-	if no >= 1 {
-		leftK = no - 1
+	pa.leftK, pa.topK = -1, -1
+	if pa.no >= 1 {
+		pa.leftK = pa.no - 1
+		pa.leftOff = pa.stride[pa.leftK]
 	}
-	if no >= 2 {
-		topK = no - 2
+	if pa.no >= 2 {
+		pa.topK = pa.no - 2
+		pa.topOff = pa.stride[pa.topK]
 	}
+	pa.dstr = strides[dir]
+	pa.n = dims[dir]
+	pa.backOff = 2 * s * pa.dstr
+	pa.pointsPerLine = (pa.n - pa.s + 2*pa.s - 1) / (2 * pa.s) // count of odd multiples of s below n
+	return pa
+}
 
-	dstr := strides[dir]
-	n := dims[dir]
-
-	var leftOff, topOff int
-	if leftK >= 0 {
-		leftOff = step[orth[leftK]] * strides[orth[leftK]]
+// line returns the geometry of line li (row-major over the orthogonal
+// lattice): the flat index of the line's origin and whether the Left/Top
+// QP neighbors exist for its points.
+func (pa *pass) line(li int) (base int, hasLeft, hasTop bool) {
+	var oc [3]int
+	rem := li
+	oc[2] = rem % pa.cnt[2]
+	rem /= pa.cnt[2]
+	oc[1] = rem % pa.cnt[1]
+	oc[0] = rem / pa.cnt[1]
+	for k := 0; k < pa.no; k++ {
+		base += oc[k] * pa.stride[k]
 	}
-	if topK >= 0 {
-		topOff = step[orth[topK]] * strides[orth[topK]]
-	}
-	backOff := 2 * s * dstr
+	hasLeft = pa.leftK >= 0 && oc[pa.leftK] > 0
+	hasTop = pa.topK >= 0 && oc[pa.topK] > 0
+	return base, hasLeft, hasTop
+}
 
-	for c0 := 0; c0 < cnt[0]; c0++ {
-		for c1 := 0; c1 < cnt[1]; c1++ {
-			for c2 := 0; c2 < cnt[2]; c2++ {
-				base := 0
-				var oc [3]int
-				oc[0], oc[1], oc[2] = c0, c1, c2
-				for k := 0; k < no; k++ {
-					base += oc[k] * step[orth[k]] * strides[orth[k]]
-				}
-				hasLeft := leftK >= 0 && oc[leftK] > 0
-				hasTop := topK >= 0 && oc[topK] > 0
-				for t := s; t < n; t += 2 * s {
-					idx := base + t*dstr
-					nb := core.Neighborhood{
-						Level: level,
-						Left:  -1, Top: -1, TopLeft: -1,
-						Back: -1, BackLeft: -1, BackTop: -1, BackTopLeft: -1,
-					}
-					if hasLeft {
-						nb.Left = idx - leftOff
-					}
-					if hasTop {
-						nb.Top = idx - topOff
-					}
-					if hasLeft && hasTop {
-						nb.TopLeft = idx - leftOff - topOff
-					}
-					if t >= 3*s {
-						nb.Back = idx - backOff
-						if hasLeft {
-							nb.BackLeft = nb.Back - leftOff
-						}
-						if hasTop {
-							nb.BackTop = nb.Back - topOff
-						}
-						if hasLeft && hasTop {
-							nb.BackTopLeft = nb.Back - leftOff - topOff
-						}
-					}
-					pt.Idx = idx
-					pt.Dir = dir
-					pt.T = t
-					pt.S = s
-					pt.N = n
-					pt.LineBase = base
-					pt.LineStrd = dstr
-					pt.Level = level
-					pt.NB = nb
-					fn(pt)
-				}
+// walkLinePoints invokes fn for every predicted point of one line, filling
+// the full Point including the QP neighborhood.
+func walkLinePoints(pa *pass, base int, hasLeft, hasTop bool, pt *Point, fn func(pt *Point)) {
+	s, n, dstr := pa.s, pa.n, pa.dstr
+	for t := s; t < n; t += 2 * s {
+		idx := base + t*dstr
+		nb := core.Neighborhood{
+			Level: pa.level,
+			Left:  -1, Top: -1, TopLeft: -1,
+			Back: -1, BackLeft: -1, BackTop: -1, BackTopLeft: -1,
+		}
+		if hasLeft {
+			nb.Left = idx - pa.leftOff
+		}
+		if hasTop {
+			nb.Top = idx - pa.topOff
+		}
+		if hasLeft && hasTop {
+			nb.TopLeft = idx - pa.leftOff - pa.topOff
+		}
+		if t >= 3*s {
+			nb.Back = idx - pa.backOff
+			if hasLeft {
+				nb.BackLeft = nb.Back - pa.leftOff
+			}
+			if hasTop {
+				nb.BackTop = nb.Back - pa.topOff
+			}
+			if hasLeft && hasTop {
+				nb.BackTopLeft = nb.Back - pa.leftOff - pa.topOff
 			}
 		}
+		pt.Idx = idx
+		pt.Dir = pa.dir
+		pt.T = t
+		pt.S = s
+		pt.N = n
+		pt.LineBase = base
+		pt.LineStrd = dstr
+		pt.Level = pa.level
+		pt.NB = nb
+		fn(pt)
 	}
 }

@@ -108,9 +108,18 @@ func DecompressChunked(stream []byte, workers int) (*Result, error) {
 			return fmt.Errorf("chunk %d: %w", i, err)
 		}
 		lo := i * chunkExtent
-		if copy(out[lo*sliceLen:], res.Data) != len(res.Data) {
-			return fmt.Errorf("chunk %d: size mismatch", i)
+		hi := lo + chunkExtent
+		if hi > dims[0] {
+			hi = dims[0]
 		}
+		// A corrupt (or hostile) chunk may decode to a different size than
+		// its slot; reject it before copy so it cannot bleed into — or leave
+		// stale zeros in — neighboring chunks' regions.
+		if len(res.Data) != (hi-lo)*sliceLen {
+			return fmt.Errorf("%w: chunk %d decodes to %d values, want %d",
+				ErrCorrupt, i, len(res.Data), (hi-lo)*sliceLen)
+		}
+		copy(out[lo*sliceLen:], res.Data)
 		if i == 0 {
 			alg = res.Algorithm
 		}

@@ -154,6 +154,17 @@ type Options struct {
 	// QP configures quantization index prediction for the
 	// interpolation-based algorithms; the zero value disables it.
 	QP QPConfig
+	// Workers caps the number of goroutines used inside one Compress call
+	// (interpolation passes and Huffman shard encoding) for the
+	// interpolation-based algorithms. <= 1 runs sequentially. The produced
+	// stream is byte-identical for any worker count.
+	Workers int
+	// Shards splits the entropy-coded index stream of the
+	// interpolation-based algorithms into this many independently decodable
+	// Huffman shards sharing one code table, letting DecompressParallel fan
+	// out entropy decoding. <= 1 keeps the legacy single-body stream, which
+	// any earlier reader also understands.
+	Shards int
 }
 
 // Result is a decompressed field.
@@ -208,18 +219,22 @@ func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
 	case SZ3:
 		o := sz3.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
+		o.Workers, o.Shards = opts.Workers, opts.Shards
 		payload, err = sz3.Compress(f, o)
 	case QoZ:
 		o := qoz.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
+		o.Workers, o.Shards = opts.Workers, opts.Shards
 		payload, err = qoz.Compress(f, o)
 	case HPEZ:
 		o := hpez.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
+		o.Workers, o.Shards = opts.Workers, opts.Shards
 		payload, err = hpez.Compress(f, o)
 	case MGARD:
 		o := mgard.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
+		o.Workers, o.Shards = opts.Workers, opts.Shards
 		payload, err = mgard.Compress(f, o)
 	case ZFP:
 		payload, err = zfp.Compress(f, zfp.Options{Tolerance: eb})
@@ -252,6 +267,14 @@ func CompressFloat32(data []float32, dims []int, opts Options) ([]byte, error) {
 
 // Decompress reconstructs a field from a stream produced by Compress.
 func Decompress(stream []byte) (*Result, error) {
+	return DecompressParallel(stream, 1)
+}
+
+// DecompressParallel is Decompress with up to workers goroutines applied
+// to entropy decoding (sharded streams) and interpolation passes of the
+// interpolation-based algorithms. The reconstruction is byte-identical for
+// any worker count; workers <= 1 decompresses sequentially.
+func DecompressParallel(stream []byte, workers int) (*Result, error) {
 	if len(stream) < 7 || stream[0] != magic[0] || stream[1] != magic[1] ||
 		stream[2] != magic[2] || stream[3] != magic[3] {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
@@ -282,13 +305,13 @@ func Decompress(stream []byte) (*Result, error) {
 	var err error
 	switch alg {
 	case SZ3:
-		f, err = sz3.Decompress(buf, dims)
+		f, err = sz3.DecompressWorkers(buf, dims, workers)
 	case QoZ:
-		f, err = qoz.Decompress(buf, dims)
+		f, err = qoz.DecompressWorkers(buf, dims, workers)
 	case HPEZ:
-		f, err = hpez.Decompress(buf, dims)
+		f, err = hpez.DecompressWorkers(buf, dims, workers)
 	case MGARD:
-		f, err = mgard.Decompress(buf, dims)
+		f, err = mgard.DecompressWorkers(buf, dims, workers)
 	case ZFP:
 		f, err = zfp.Decompress(buf, dims)
 	case TTHRESH:
