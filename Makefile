@@ -1,14 +1,16 @@
 # Build, test and benchmark entry points.
 #
-# `make check` is the tier-1 gate: full build + tests, go vet, and a
-# -race pass over the concurrency-bearing packages (the parallel engine,
-# the sharded entropy coder, and the chunked/parallel facade tests).
+# `make check` is the tier-1 gate: full build + tests, go vet, a -race
+# pass over the concurrency-bearing packages (the parallel engine, the
+# sharded entropy coder, and the chunked/parallel facade tests), and a
+# short fuzz pass over every decoder-facing fuzz target.
 # `make bench` snapshots the hot-path benchmarks into
 # results/BENCH_pr1.json (before-numbers are the recorded seed baseline).
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet race check bench fuzz-smoke cover
 
 all: check
 
@@ -24,7 +26,24 @@ vet:
 race:
 	$(GO) test -race ./internal/parallel/ ./internal/sz3/ ./internal/huffman/ .
 
-check: build test vet race
+# go test -fuzz accepts only one target per invocation, so each gets its
+# own short run. Any crasher fails the make.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz '^FuzzDecompress$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run xxx -fuzz '^FuzzDecompressChunked$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run xxx -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run xxx -fuzz '^FuzzHuffmanDecode$$' -fuzztime $(FUZZTIME) ./internal/huffman/
+	$(GO) test -run xxx -fuzz '^FuzzHuffmanRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/huffman/
+	$(GO) test -run xxx -fuzz '^FuzzRangeCoderDecode$$' -fuzztime $(FUZZTIME) ./internal/lossless/
+	$(GO) test -run xxx -fuzz '^FuzzLosslessDecompress$$' -fuzztime $(FUZZTIME) ./internal/lossless/
+	$(GO) test -run xxx -fuzz '^FuzzBitReader$$' -fuzztime $(FUZZTIME) ./internal/bitstream/
+	$(GO) test -run xxx -fuzz '^FuzzBitWriterReader$$' -fuzztime $(FUZZTIME) ./internal/bitstream/
+	$(GO) test -run xxx -fuzz '^FuzzQuantizerRecover$$' -fuzztime $(FUZZTIME) ./internal/quantizer/
+
+cover:
+	$(GO) test -cover ./...
+
+check: build test vet race fuzz-smoke
 
 bench:
 	@mkdir -p results

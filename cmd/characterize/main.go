@@ -12,8 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"scdc/internal/charz"
 	"scdc/internal/core"
@@ -26,29 +29,40 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
 	var (
-		fig3   = flag.Bool("fig3", false, "dump full-slice index maps (Figure 3)")
-		fig4   = flag.Bool("fig4", false, "per-slice entropy in three planes (Figure 4)")
-		fig5   = flag.Bool("fig5", false, "regional index maps and entropies, all bases +- QP (Figure 5)")
-		outdir = flag.String("outdir", ".", "directory for PGM output")
-		relEB  = flag.Float64("rel", 3e-4, "relative error bound (PSNR ~= 75 on SegSalt)")
-		seed   = flag.Int64("seed", 1, "synthesis seed")
-		ascii  = flag.Bool("ascii", false, "also print ASCII region maps")
+		fig3    = fs.Bool("fig3", false, "dump full-slice index maps (Figure 3)")
+		fig4    = fs.Bool("fig4", false, "per-slice entropy in three planes (Figure 4)")
+		fig5    = fs.Bool("fig5", false, "regional index maps and entropies, all bases +- QP (Figure 5)")
+		outdir  = fs.String("outdir", ".", "directory for PGM output")
+		relEB   = fs.Float64("rel", 3e-4, "relative error bound (PSNR ~= 75 on SegSalt)")
+		seed    = fs.Int64("seed", 1, "synthesis seed")
+		ascii   = fs.Bool("ascii", false, "also print ASCII region maps")
+		dimsArg = fs.String("dims", "", "override field geometry, e.g. 32x32x24 (default: dataset spec)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !*fig3 && !*fig4 && !*fig5 {
 		*fig4 = true
 	}
+	fieldDims, err := parseDims(*dimsArg)
+	if err != nil {
+		return err
+	}
 
 	// The paper characterizes the SegSalt Pressure2000 field.
-	f := datagen.MustGenerate(datagen.SegSalt, 1, nil, *seed)
+	f, err := datagen.Generate(datagen.SegSalt, 1, fieldDims, *seed)
+	if err != nil {
+		return err
+	}
 	eb := f.Range() * *relEB
 	dims := f.Dims()
 
@@ -95,15 +109,15 @@ func run() error {
 			return err
 		}
 		q := charz.Centered(tr.Q, quantizer.DefaultRadius)
-		fmt.Println("# Figure 4: entropy of quantization indices by slice (SZ3, stride 2)")
+		fmt.Fprintln(stdout, "# Figure 4: entropy of quantization indices by slice (SZ3, stride 2)")
 		for axis, plane := range []string{"yz", "xz", "xy"} {
 			es, err := charz.SliceEntropies(q, dims, axis, 2)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("plane orth to axis %d (%s slices):\n", axis, plane)
+			fmt.Fprintf(stdout, "plane orth to axis %d (%s slices):\n", axis, plane)
 			for pos := 0; pos < len(es); pos += max(1, len(es)/16) {
-				fmt.Printf("  slice %4d: H=%.3f\n", pos, es[pos])
+				fmt.Fprintf(stdout, "  slice %4d: H=%.3f\n", pos, es[pos])
 			}
 		}
 	}
@@ -114,7 +128,7 @@ func run() error {
 			return err
 		}
 		q := charz.Centered(tr.Q, quantizer.DefaultRadius)
-		fmt.Println("# Figure 3: full-slice index maps (value range [-8, 8])")
+		fmt.Fprintln(stdout, "# Figure 3: full-slice index maps (value range [-8, 8])")
 		for axis := 0; axis < 3; axis++ {
 			pos := dims[axis] / 2
 			plane, rows, cols, err := charz.Slice(q, dims, axis, pos)
@@ -125,13 +139,13 @@ func run() error {
 			if err := os.WriteFile(path, charz.RenderPGM(plane, rows, cols, -8, 8), 0o644); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s (%dx%d)\n", path, cols, rows)
+			fmt.Fprintf(stdout, "wrote %s (%dx%d)\n", path, cols, rows)
 		}
 	}
 
 	if *fig5 {
-		fmt.Println("# Figure 5: regional index maps and entropies (value range [-4, 4])")
-		fmt.Printf("%-6s %-5s %12s %12s %12s\n", "base", "qp", "region0(2x2)", "region1(1x2)", "region2(2x2)")
+		fmt.Fprintln(stdout, "# Figure 5: regional index maps and entropies (value range [-4, 4])")
+		fmt.Fprintf(stdout, "%-6s %-5s %12s %12s %12s\n", "base", "qp", "region0(2x2)", "region1(1x2)", "region2(2x2)")
 		for _, name := range []string{"MGARD", "SZ3", "QoZ", "HPEZ"} {
 			for _, qp := range []bool{false, true} {
 				tr, err := traceOf(name, qp)
@@ -174,14 +188,32 @@ func run() error {
 						return err
 					}
 					if *ascii && i == 0 {
-						fmt.Println(charz.RenderASCII(region, rr, rc, -4, 4))
+						fmt.Fprintln(stdout, charz.RenderASCII(region, rr, rc, -4, 4))
 					}
 				}
-				fmt.Printf("%-6s %-5v %12.3f %12.3f %12.3f\n", name, qp, hs[0], hs[1], hs[2])
+				fmt.Fprintf(stdout, "%-6s %-5v %12.3f %12.3f %12.3f\n", name, qp, hs[0], hs[1], hs[2])
 			}
 		}
 	}
 	return nil
+}
+
+// parseDims parses an AxBxC geometry flag; empty selects the dataset's
+// default reduced dims.
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dims %q", s)
+		}
+		dims[i] = v
+	}
+	return dims, nil
 }
 
 func max(a, b int) int {

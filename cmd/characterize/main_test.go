@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunAllFigures smoke-runs every figure mode on a reduced field and
+// checks the key output sections and PGM artifacts appear.
+func TestRunAllFigures(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-fig3", "-fig4", "-fig5", "-dims", "32x32x24", "-outdir", dir, "-ascii"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# Figure 4: entropy of quantization indices by slice",
+		"plane orth to axis 0",
+		"H=",
+		"# Figure 3: full-slice index maps",
+		"# Figure 5: regional index maps and entropies",
+		"SZ3",
+		"MGARD",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	pgms, err := filepath.Glob(filepath.Join(dir, "*.pgm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig3 writes 3 maps; fig5 writes 3 regions x 4 bases x 2 modes.
+	if len(pgms) != 3+24 {
+		t.Errorf("wrote %d PGM files, want 27", len(pgms))
+	}
+	for _, p := range pgms {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(raw, []byte("P5\n")) {
+			t.Errorf("%s: not a binary PGM", p)
+		}
+	}
+}
+
+// TestRunDefaultsToFig4 checks that with no figure flag the entropy scan
+// runs (the documented default).
+func TestRunDefaultsToFig4(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dims", "16x16x16"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "# Figure 4") {
+		t.Error("default run did not produce the Figure 4 scan")
+	}
+}
+
+// TestRunRejectsBadFlags: invalid geometry must surface as an error, not
+// a panic or a silent full-size run.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dims", "0x4x4"},
+		{"-dims", "axbxc"},
+		{"-dims", "4x4x4x4x4"},
+		{"-no-such-flag"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -8,7 +8,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"scdc/internal/core"
 	"scdc/internal/datagen"
@@ -17,7 +20,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
@@ -25,28 +28,44 @@ func main() {
 
 var relEBs = []float64{1e-3, 3e-4, 1e-4, 3e-5, 1e-5}
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
 	var (
-		fig7 = flag.Bool("fig7", false, "prediction dimension exploration (Figure 7)")
-		fig8 = flag.Bool("fig8", false, "prediction condition exploration (Figure 8)")
-		fig9 = flag.Bool("fig9", false, "start level exploration (Figure 9)")
-		seed = flag.Int64("seed", 1, "synthesis seed")
+		fig7    = fs.Bool("fig7", false, "prediction dimension exploration (Figure 7)")
+		fig8    = fs.Bool("fig8", false, "prediction condition exploration (Figure 8)")
+		fig9    = fs.Bool("fig9", false, "start level exploration (Figure 9)")
+		seed    = fs.Int64("seed", 1, "synthesis seed")
+		dimsArg = fs.String("dims", "", "override field geometry, e.g. 32x32x24 (default: dataset specs)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !*fig7 && !*fig8 && !*fig9 {
 		*fig7, *fig8, *fig9 = true, true, true
 	}
+	fieldDims, err := parseDims(*dimsArg)
+	if err != nil {
+		return err
+	}
 
+	segsalt, err := datagen.Generate(datagen.SegSalt, 1, fieldDims, *seed)
+	if err != nil {
+		return err
+	}
+	miranda, err := datagen.Generate(datagen.Miranda, 0, fieldDims, *seed)
+	if err != nil {
+		return err
+	}
 	fields := []struct {
 		name string
 		f    *grid.Field
 	}{
-		{"SegSalt/Pressure", datagen.MustGenerate(datagen.SegSalt, 1, nil, *seed)},
-		{"Miranda/Velocityx", datagen.MustGenerate(datagen.Miranda, 0, nil, *seed)},
+		{"SegSalt/Pressure", segsalt},
+		{"Miranda/Velocityx", miranda},
 	}
 
 	if *fig7 {
-		fmt.Println("# Figure 7: CR increase rate by prediction dimension (SZ3, Case III, levels 1-2)")
+		fmt.Fprintln(stdout, "# Figure 7: CR increase rate by prediction dimension (SZ3, Case III, levels 1-2)")
 		configs := []struct {
 			label string
 			cfg   core.Config
@@ -58,14 +77,14 @@ func run() error {
 			{"3D", core.Config{Mode: core.Mode3D, Cond: core.CondSameSign2, MaxLevel: 2}},
 		}
 		for _, fld := range fields {
-			if err := sweep(fld.name, fld.f, configs); err != nil {
+			if err := sweep(stdout, fld.name, fld.f, configs); err != nil {
 				return err
 			}
 		}
 	}
 
 	if *fig8 {
-		fmt.Println("# Figure 8: CR increase rate by prediction condition (SZ3, 2D, levels 1-2)")
+		fmt.Fprintln(stdout, "# Figure 8: CR increase rate by prediction condition (SZ3, 2D, levels 1-2)")
 		configs := []struct {
 			label string
 			cfg   core.Config
@@ -76,14 +95,14 @@ func run() error {
 			{"Case-IV", core.Config{Mode: core.Mode2D, Cond: core.CondSameSign3, MaxLevel: 2}},
 		}
 		for _, fld := range fields {
-			if err := sweep(fld.name, fld.f, configs); err != nil {
+			if err := sweep(stdout, fld.name, fld.f, configs); err != nil {
 				return err
 			}
 		}
 	}
 
 	if *fig9 {
-		fmt.Println("# Figure 9: CR increase rate by start level (SZ3, 2D, Case III)")
+		fmt.Fprintln(stdout, "# Figure 9: CR increase rate by start level (SZ3, 2D, Case III)")
 		configs := []struct {
 			label string
 			cfg   core.Config
@@ -95,7 +114,7 @@ func run() error {
 			{"all-levels", core.Config{Mode: core.Mode2D, Cond: core.CondSameSign2, MaxLevel: 0}},
 		}
 		for _, fld := range fields {
-			if err := sweep(fld.name, fld.f, configs); err != nil {
+			if err := sweep(stdout, fld.name, fld.f, configs); err != nil {
 				return err
 			}
 		}
@@ -105,15 +124,15 @@ func run() error {
 
 // sweep prints the CR increase rate of each configuration over the plain
 // base compressor at each relative error bound.
-func sweep(name string, f *grid.Field, configs []struct {
+func sweep(w io.Writer, name string, f *grid.Field, configs []struct {
 	label string
 	cfg   core.Config
 }) error {
-	fmt.Printf("## %s\n%-12s", name, "rel_eb")
+	fmt.Fprintf(w, "## %s\n%-12s", name, "rel_eb")
 	for _, c := range configs {
-		fmt.Printf(" %11s", c.label)
+		fmt.Fprintf(w, " %11s", c.label)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, rel := range relEBs {
 		eb := f.Range() * rel
 		base := sz3.DefaultOptions(eb)
@@ -122,7 +141,7 @@ func sweep(name string, f *grid.Field, configs []struct {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-12g", rel)
+		fmt.Fprintf(w, "%-12g", rel)
 		for _, c := range configs {
 			opts := base
 			opts.QP = c.cfg
@@ -132,9 +151,27 @@ func sweep(name string, f *grid.Field, configs []struct {
 				return err
 			}
 			gain := 100 * (float64(len(pb))/float64(len(pq)) - 1)
-			fmt.Printf(" %10.2f%%", gain)
+			fmt.Fprintf(w, " %10.2f%%", gain)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// parseDims parses an AxBxC geometry flag; empty selects each dataset's
+// default reduced dims.
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dims %q", s)
+		}
+		dims[i] = v
+	}
+	return dims, nil
 }

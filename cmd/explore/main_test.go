@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExploration smoke-runs each exploration figure on a reduced
+// field and checks the sweep tables carry the expected configurations.
+func TestRunExploration(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig7", "-dims", "16x16x16"}, &out); err != nil {
+		t.Fatalf("run -fig7: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# Figure 7: CR increase rate by prediction dimension",
+		"## SegSalt/Pressure",
+		"## Miranda/Velocityx",
+		"1D-Back", "2D", "3D",
+		"%", // gains are printed as percentages
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-fig7 output missing %q", want)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-fig8", "-dims", "16x16x16"}, &out); err != nil {
+		t.Fatalf("run -fig8: %v", err)
+	}
+	if !strings.Contains(out.String(), "Case-I") || !strings.Contains(out.String(), "Case-IV") {
+		t.Error("-fig8 output missing prediction-condition cases")
+	}
+
+	out.Reset()
+	if err := run([]string{"-fig9", "-dims", "16x16x16"}, &out); err != nil {
+		t.Fatalf("run -fig9: %v", err)
+	}
+	if !strings.Contains(out.String(), "all-levels") {
+		t.Error("-fig9 output missing start-level sweep")
+	}
+}
+
+// TestRunRejectsBadFlags: invalid geometry or flags must error cleanly.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-dims", "-1x4"},
+		{"-dims", "x"},
+		{"-bogus"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -6,29 +6,35 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"scdc"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: inspect <file.scdc> ...")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(paths []string, stdout, stderr io.Writer) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "usage: inspect <file.scdc> ...")
+		return 2
 	}
 	fail := false
-	for _, path := range os.Args[1:] {
-		if err := inspect(path); err != nil {
-			fmt.Fprintf(os.Stderr, "inspect: %s: %v\n", path, err)
+	for _, path := range paths {
+		if err := inspect(stdout, path); err != nil {
+			fmt.Fprintf(stderr, "inspect: %s: %v\n", path, err)
 			fail = true
 		}
 	}
 	if fail {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func inspect(path string) error {
+func inspect(w io.Writer, path string) error {
 	stream, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -38,16 +44,21 @@ func inspect(path string) error {
 		return err
 	}
 	raw := info.Points * 8
-	fmt.Printf("%s:\n", path)
-	fmt.Printf("  version    %d\n", info.Version)
-	fmt.Printf("  algorithm  %v\n", info.Algorithm)
-	fmt.Printf("  dims       %v (%d points)\n", info.Dims, info.Points)
-	fmt.Printf("  payload    %d bytes (CR %.2f vs float64)\n",
+	fmt.Fprintf(w, "%s:\n", path)
+	fmt.Fprintf(w, "  version    %d\n", info.Version)
+	integrity := "crc32c"
+	if !info.Integrity {
+		integrity = "none (legacy v1)"
+	}
+	fmt.Fprintf(w, "  integrity  %s\n", integrity)
+	fmt.Fprintf(w, "  algorithm  %v\n", info.Algorithm)
+	fmt.Fprintf(w, "  dims       %v (%d points)\n", info.Dims, info.Points)
+	fmt.Fprintf(w, "  payload    %d bytes (CR %.2f vs float64)\n",
 		info.PayloadBytes, scdc.CompressionRatio(raw, len(stream)))
 	if info.Chunked {
-		fmt.Printf("  chunks     %d x extent %d along dim 0\n", info.Chunks, info.ChunkExtent)
+		fmt.Fprintf(w, "  chunks     %d x extent %d along dim 0\n", info.Chunks, info.ChunkExtent)
 		for i, cb := range info.ChunkBytes {
-			fmt.Printf("    chunk %3d: %d bytes\n", i, cb)
+			fmt.Fprintf(w, "    chunk %3d: %d bytes\n", i, cb)
 		}
 	}
 	return nil

@@ -10,6 +10,11 @@ import (
 type StreamInfo struct {
 	// Version is the container format version.
 	Version int
+	// Integrity reports whether the stream carries a verified CRC32C
+	// footer (format v2). Legacy v1 streams have no footer and report
+	// false; a v2 stream with a mismatching footer fails Inspect with
+	// ErrIntegrity instead.
+	Integrity bool
 	// Chunked reports a multi-chunk container (CompressChunked).
 	Chunked bool
 	// Algorithm is the compressor (first chunk's, for chunked streams).
@@ -36,11 +41,18 @@ func Inspect(stream []byte) (*StreamInfo, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	info := &StreamInfo{Version: int(stream[4]), Chunks: 1}
-	if info.Version != formatVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, info.Version)
+	// checkFooter also rejects unsupported versions; for v2 it verifies
+	// the CRC32C, so Inspect fails loudly (ErrIntegrity) on damaged bytes.
+	body, err := checkFooter(stream)
+	if err != nil {
+		return nil, err
+	}
+	info.Integrity = info.Version >= formatVersion
+	if len(body) < 7 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
 	}
 
-	if stream[5] == 0xFF {
+	if body[5] == 0xFF {
 		dims, extent, chunks, err := parseChunked(stream)
 		if err != nil {
 			return nil, err
@@ -61,15 +73,15 @@ func Inspect(stream []byte) (*StreamInfo, error) {
 			info.Algorithm = ci.Algorithm
 		}
 	} else {
-		alg := Algorithm(stream[5])
+		alg := Algorithm(body[5])
 		if alg >= numAlgorithms {
 			return nil, fmt.Errorf("%w: unknown algorithm %d", ErrCorrupt, alg)
 		}
-		nd := int(stream[6])
+		nd := int(body[6])
 		if nd < 1 || nd > 4 {
 			return nil, fmt.Errorf("%w: bad dimensionality %d", ErrCorrupt, nd)
 		}
-		buf := stream[7:]
+		buf := body[7:]
 		dims := make([]int, nd)
 		for i := range dims {
 			v, k := binary.Uvarint(buf)

@@ -1,0 +1,91 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPropertyWriterReaderRoundTrip drives many random write scripts —
+// including zero-width writes and streams whose total length is not a
+// multiple of 8 — and requires a bit-exact read-back plus correct length
+// bookkeeping on both sides.
+func TestPropertyWriterReaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 500; iter++ {
+		type item struct {
+			v uint64
+			n uint
+		}
+		var items []item
+		w := NewWriter(0)
+		bits := 0
+		for k := rng.Intn(40); k > 0; k-- {
+			n := uint(rng.Intn(65)) // 0..64, zero-width included
+			v := rng.Uint64()
+			if n < 64 {
+				v &= (1 << n) - 1
+			}
+			w.WriteBits(v, n)
+			items = append(items, item{v, n})
+			bits += int(n)
+		}
+		if w.Len() != bits {
+			t.Fatalf("iter %d: Len %d, want %d", iter, w.Len(), bits)
+		}
+		out := w.Bytes()
+		if len(out) != (bits+7)/8 {
+			t.Fatalf("iter %d: %d bytes for %d bits", iter, len(out), bits)
+		}
+		// Bits pack MSB-first, so an odd tail leaves the low bits of the
+		// final byte as padding, which must be zero for deterministic
+		// byte-for-byte streams.
+		if tail := bits % 8; tail != 0 {
+			if pad := out[len(out)-1] & (1<<(8-tail) - 1); pad != 0 {
+				t.Fatalf("iter %d: nonzero padding in final byte %08b (tail %d bits)",
+					iter, out[len(out)-1], tail)
+			}
+		}
+		r := NewReader(out)
+		for i, it := range items {
+			got, err := r.ReadBits(it.n)
+			if err != nil {
+				t.Fatalf("iter %d item %d: %v", iter, i, err)
+			}
+			if got != it.v {
+				t.Fatalf("iter %d item %d: %x, want %x (n=%d)", iter, i, got, it.v, it.n)
+			}
+		}
+		if r.Remaining() >= 8 {
+			t.Fatalf("iter %d: %d unread bits after full read-back", iter, r.Remaining())
+		}
+	}
+}
+
+// TestPropertyZeroLength: an empty writer yields an empty stream, and a
+// reader over it errors on any read while keeping its bookkeeping sane.
+func TestPropertyZeroLength(t *testing.T) {
+	w := NewWriter(0)
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatalf("empty writer: Len=%d bytes=%d", w.Len(), len(w.Bytes()))
+	}
+	w.WriteBits(0, 0) // zero-width write is a no-op
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("zero-width write changed the stream")
+	}
+	r := NewReader(nil)
+	if r.Remaining() != 0 || r.BitsRead() != 0 {
+		t.Fatalf("empty reader: Remaining=%d BitsRead=%d", r.Remaining(), r.BitsRead())
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("ReadBit on empty stream succeeded")
+	}
+	if _, err := r.ReadBits(1); err == nil {
+		t.Fatal("ReadBits on empty stream succeeded")
+	}
+	if v, err := r.ReadBits(0); err != nil || v != 0 {
+		t.Fatalf("zero-width read on empty stream: v=%d err=%v", v, err)
+	}
+	if err := r.Skip(0); err != nil {
+		t.Fatalf("zero-width skip on empty stream: %v", err)
+	}
+}

@@ -90,21 +90,35 @@ func Specs() []Spec {
 	}
 }
 
-// Spec returns the spec for one dataset.
-func (d Dataset) Spec() Spec {
+// SpecOf returns the spec for one dataset, reporting whether the dataset
+// is known.
+func SpecOf(d Dataset) (Spec, bool) {
 	for _, s := range Specs() {
 		if s.Dataset == d {
-			return s
+			return s, true
 		}
 	}
-	panic(fmt.Sprintf("datagen: unknown dataset %d", int(d)))
+	return Spec{}, false
+}
+
+// Spec returns the spec for one dataset. It panics on an unknown dataset;
+// callers with untrusted input should use SpecOf.
+func (d Dataset) Spec() Spec {
+	s, ok := SpecOf(d)
+	if !ok {
+		panic(fmt.Sprintf("datagen: unknown dataset %d", int(d)))
+	}
+	return s
 }
 
 // Generate synthesizes field number field of the dataset at the given
 // dims (nil selects the spec's reduced dims). For RTM, field is the time
 // step and controls the wavefront radius.
 func Generate(d Dataset, field int, dims []int, seed int64) (*grid.Field, error) {
-	spec := d.Spec()
+	spec, ok := SpecOf(d)
+	if !ok {
+		return nil, fmt.Errorf("datagen: unknown dataset %d", int(d))
+	}
 	if dims == nil {
 		dims = spec.Dims
 	}

@@ -121,3 +121,24 @@ func minInt(a, b int) int {
 	}
 	return b
 }
+
+// TestGenerateRejectsInvalidInput: Generate must return an error — not
+// panic — for unknown datasets and bad geometry, so callers driven by
+// untrusted flags (the CLIs) can report cleanly.
+func TestGenerateRejectsInvalidInput(t *testing.T) {
+	if _, err := Generate(Dataset(99), 0, []int{4, 4}, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := Generate(Miranda, 0, []int{0, 4}, 1); err == nil {
+		t.Fatal("zero extent accepted")
+	}
+	if _, err := Generate(Miranda, 0, []int{4, 4, 4, 4, 4}, 1); err == nil {
+		t.Fatal("5D dims accepted")
+	}
+	if _, ok := SpecOf(Dataset(99)); ok {
+		t.Fatal("SpecOf reported unknown dataset as known")
+	}
+	if s, ok := SpecOf(RTM); !ok || s.Dataset != RTM {
+		t.Fatal("SpecOf failed for a known dataset")
+	}
+}

@@ -462,6 +462,11 @@ func DecodeParallel(data []byte, workers int) ([]int32, error) {
 	if nsamp == 0 {
 		return []int32{}, nil
 	}
+	// Every code is >= 1 bit, so a body of B bytes can hold at most 8B
+	// symbols; reject hostile sample counts before allocating the output.
+	if nsamp > 8*uint64(len(body)) {
+		return nil, fmt.Errorf("%w: %d samples for %d-byte body", ErrCorrupt, nsamp, len(body))
+	}
 
 	d := newDecoder(syms, lengths)
 	defer d.release()

@@ -152,6 +152,11 @@ func decodeSharded(data []byte, workers int) ([]int32, error) {
 	if bodyOff > len(data) {
 		return nil, fmt.Errorf("%w: shard bodies exceed stream", ErrCorrupt)
 	}
+	// As in the legacy path: codes are >= 1 bit, so the concatenated
+	// bodies bound the total sample count before the output is allocated.
+	if nsamp > 8*uint64(bodyOff) {
+		return nil, fmt.Errorf("%w: %d samples for %d body bytes", ErrCorrupt, nsamp, bodyOff)
+	}
 
 	out := make([]int32, nsamp)
 	if nsamp == 0 {

@@ -95,8 +95,32 @@ func Compress(c Codec, src []byte) ([]byte, error) {
 	}
 }
 
-// Decompress reverses Compress.
+// PayloadLimit returns a safe DecompressLimit bound for a codec payload
+// that decodes a field of the given point count: generous enough for any
+// stream the compressors can emit (headers, Huffman tables, 64-bit
+// literals and anchors), yet proportional to the memory the caller will
+// allocate for the field anyway.
+func PayloadLimit(points int) int {
+	const mult, slack = 256, 65536
+	maxInt := int(^uint(0) >> 1)
+	if points > (maxInt-slack)/mult {
+		return maxInt
+	}
+	return mult*points + slack
+}
+
+// Decompress reverses Compress with no bound on the declared output size.
 func Decompress(data []byte) ([]byte, error) {
+	return DecompressLimit(data, -1)
+}
+
+// DecompressLimit is Decompress with an upper bound on the header-declared
+// output size. A decoder that knows its decoded geometry should pass
+// PayloadLimit(points) so a hostile or damaged length header fails fast
+// instead of driving a giant allocation (the LZ and range codecs otherwise
+// decode exactly as many bytes as the header claims). maxOut < 0 disables
+// the check.
+func DecompressLimit(data []byte, maxOut int) ([]byte, error) {
 	if len(data) < 1 {
 		return nil, fmt.Errorf("%w: empty stream", ErrCorrupt)
 	}
@@ -104,6 +128,9 @@ func Decompress(data []byte) ([]byte, error) {
 	n, k := binary.Uvarint(data[1:])
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: bad length header", ErrCorrupt)
+	}
+	if maxOut >= 0 && n > uint64(maxOut) {
+		return nil, fmt.Errorf("%w: declared size %d exceeds limit %d", ErrCorrupt, n, maxOut)
 	}
 	body := data[1+k:]
 	switch c {
@@ -117,7 +144,14 @@ func Decompress(data []byte) ([]byte, error) {
 		if err := r.(flate.Resetter).Reset(bytes.NewReader(body), nil); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
-		out := make([]byte, 0, n)
+		// The preallocation hint is clamped: DEFLATE expands at most ~1032x,
+		// so memory use stays proportional to the body even when the header
+		// lies about n in the unlimited path.
+		hint := n
+		if hint > 1<<20 {
+			hint = 1 << 20
+		}
+		out := make([]byte, 0, hint)
 		buf := bytes.NewBuffer(out)
 		if _, err := io.Copy(buf, io.LimitReader(r, int64(n)+1)); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)

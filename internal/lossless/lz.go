@@ -130,7 +130,14 @@ func lzDecompress(src []byte, n int) ([]byte, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("%w: negative length", ErrCorrupt)
 	}
-	out := make([]byte, 0, n)
+	// Clamp the preallocation: growth past the hint is driven by actual
+	// decoded tokens, so a lying length header cannot force a giant
+	// up-front allocation.
+	hint := n
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	out := make([]byte, 0, hint)
 	pos := 0
 	for {
 		litLen, p, err := getUvarint(src, pos)

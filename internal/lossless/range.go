@@ -159,12 +159,22 @@ func rangeCompress(src []byte) []byte {
 	return append(out, crc[:]...)
 }
 
+// rangeMaxExpansion bounds the plaintext-to-stream ratio a valid range
+// stream can reach. The adaptive probability saturates near 2017/2048, so
+// even an all-zero plaintext costs >= ~0.18 bits per byte (~45x); 1024x
+// leaves a wide margin while stopping hostile length headers, because the
+// decoder otherwise synthesizes unlimited output from zero-padding.
+const rangeMaxExpansion = 1024
+
 // rangeDecompress decodes exactly n bytes and verifies the trailing CRC.
 func rangeDecompress(src []byte, n int) ([]byte, error) {
 	if n < 0 || len(src) < 4 {
 		return nil, fmt.Errorf("%w: short range stream", ErrCorrupt)
 	}
 	body, crc := src[:len(src)-4], src[len(src)-4:]
+	if n > 0 && (len(body) == 0 || n/len(body) > rangeMaxExpansion) {
+		return nil, fmt.Errorf("%w: %d bytes declared for %d-byte range stream", ErrCorrupt, n, len(body))
+	}
 	d := newRangeDecoder(body)
 	out := make([]byte, n)
 	for i := range out {

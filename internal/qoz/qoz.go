@@ -254,7 +254,7 @@ func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, er
 	if err != nil {
 		return nil, err
 	}
-	buf, err := lossless.Decompress(payload)
+	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}

@@ -250,7 +250,7 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf, err := lossless.Decompress(payload)
+	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -351,7 +351,11 @@ func DecompressPreview(payload []byte, dims []int, skipPlanes int) (*grid.Field,
 		full, err := Decompress(payload, dims)
 		return full, err
 	}
-	buf, err := lossless.Decompress(payload)
+	n, err := grid.CheckDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}

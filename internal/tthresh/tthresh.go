@@ -115,10 +115,11 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 
 // Decompress reconstructs a field with the given dims.
 func Decompress(payload []byte, dims []int) (*grid.Field, error) {
-	if _, err := grid.CheckDims(dims); err != nil {
+	n, err := grid.CheckDims(dims)
+	if err != nil {
 		return nil, err
 	}
-	buf, err := lossless.Decompress(payload)
+	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}

@@ -68,7 +68,9 @@ func CompressChunked(data []float64, dims []int, opts Options, workers, chunkExt
 	})
 
 	// Container: magic, version, marker 0xFF (chunked), ndims, dims,
-	// chunk extent, chunk count, then length-prefixed chunk streams.
+	// chunk extent, chunk count, length-prefixed chunk streams, then the
+	// v2 CRC32C footer over the whole container (each chunk additionally
+	// carries its own footer, so partial reads stay verifiable).
 	out := make([]byte, 0, 64)
 	out = append(out, magic[:]...)
 	out = append(out, formatVersion, 0xFF, byte(len(dims)))
@@ -84,7 +86,7 @@ func CompressChunked(data []float64, dims []int, opts Options, workers, chunkExt
 		out = binary.AppendUvarint(out, uint64(len(r.stream)))
 		out = append(out, r.stream...)
 	}
-	return out, nil
+	return appendFooter(out), nil
 }
 
 // DecompressChunked reconstructs a field compressed with CompressChunked,
@@ -94,9 +96,18 @@ func DecompressChunked(stream []byte, workers int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := 1
-	for _, d := range dims {
-		n *= d
+	// Overflow- and plausibility-check the declared geometry before the
+	// output field is allocated.
+	n, err := grid.CheckDims(dims)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	payload := 0
+	for _, c := range chunks {
+		payload += len(c)
+	}
+	if payload == 0 || n > payload*maxPointsPerByte {
+		return nil, fmt.Errorf("%w: %d points declared for %d payload bytes", ErrCorrupt, n, payload)
 	}
 	sliceLen := n / dims[0]
 	out := make([]float64, n)
@@ -153,7 +164,12 @@ func parseChunked(stream []byte) (dims []int, chunkExtent int, chunks [][]byte, 
 		stream[2] != magic[2] || stream[3] != magic[3] {
 		return nil, 0, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if stream[4] != formatVersion || stream[5] != 0xFF {
+	// Verify the container CRC32C before interpreting any layout field.
+	stream, err = checkFooter(stream)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if len(stream) < 8 || stream[5] != 0xFF {
 		return nil, 0, nil, fmt.Errorf("%w: not a chunked stream", ErrCorrupt)
 	}
 	nd := int(stream[6])

@@ -72,6 +72,9 @@ func TestChunkedRejectsMismatchedChunk(t *testing.T) {
 		out = binary.AppendUvarint(out, uint64(len(chunk)))
 		out = append(out, chunk...)
 	}
+	// Re-seal the rebuilt container so the integrity footer passes and the
+	// structural chunk-size check is what rejects it.
+	out = appendFooter(out)
 	if _, err := DecompressChunked(out, 2); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("mismatched chunk not rejected: %v", err)
 	}

@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"scdc/internal/core"
@@ -189,12 +190,65 @@ func (r *Result) Float32() []float32 {
 // ErrCorrupt reports a malformed container.
 var ErrCorrupt = errors.New("scdc: corrupt stream")
 
+// ErrIntegrity reports a well-formed container whose CRC32C footer does
+// not match the stream contents — the bytes were damaged in storage or
+// transit. It is distinct from ErrCorrupt (structural damage) so callers
+// can tell "re-fetch the stream" from "the writer produced garbage".
+var ErrIntegrity = errors.New("scdc: integrity check failed")
+
 // ErrBadOptions reports invalid options or input.
 var ErrBadOptions = errors.New("scdc: invalid options")
 
 var magic = [4]byte{'S', 'C', 'D', 'C'}
 
-const formatVersion = 1
+const (
+	// formatV1 is the legacy footer-less container, still readable.
+	formatV1 = 1
+	// formatVersion is the current container version: identical to v1 plus
+	// a 4-byte CRC32C (Castagnoli) footer over every preceding byte.
+	formatVersion = 2
+
+	// footerSize is the v2 trailer: uint32 LE CRC32C.
+	footerSize = 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFooter appends the v2 CRC32C footer covering stream.
+func appendFooter(stream []byte) []byte {
+	return binary.LittleEndian.AppendUint32(stream, crc32.Checksum(stream, castagnoli))
+}
+
+// checkFooter validates the container version byte (stream[4]) and, for v2
+// streams, verifies and strips the CRC32C footer. It returns the stream
+// body without the footer. The caller must have checked the magic and that
+// len(stream) >= 5.
+func checkFooter(stream []byte) ([]byte, error) {
+	switch stream[4] {
+	case formatV1:
+		return stream, nil
+	case formatVersion:
+		if len(stream) < 5+footerSize {
+			return nil, fmt.Errorf("%w: missing footer", ErrCorrupt)
+		}
+		body := stream[:len(stream)-footerSize]
+		want := binary.LittleEndian.Uint32(stream[len(stream)-footerSize:])
+		if got := crc32.Checksum(body, castagnoli); got != want {
+			return nil, fmt.Errorf("%w: CRC32C %08x, footer says %08x", ErrIntegrity, got, want)
+		}
+		return body, nil
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, stream[4])
+	}
+}
+
+// maxPointsPerByte caps the header-declared point count against the
+// available payload before anything is allocated. The tightest possible
+// encoding is ~1 Huffman bit per point followed by the lossless back-end
+// (at most ~2^13x on constant input), so 2^17 points per payload byte is
+// beyond any stream the writers can produce; headers claiming more are
+// hostile or damaged.
+const maxPointsPerByte = 1 << 17
 
 // Compress compresses a row-major field with the given dims (1 to 4
 // dimensions, first dim slowest).
@@ -253,7 +307,7 @@ func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
 	for _, d := range dims {
 		hdr = binary.AppendUvarint(hdr, uint64(d))
 	}
-	return append(hdr, payload...), nil
+	return appendFooter(append(hdr, payload...)), nil
 }
 
 // CompressFloat32 is Compress for single-precision input.
@@ -279,8 +333,14 @@ func DecompressParallel(stream []byte, workers int) (*Result, error) {
 		stream[2] != magic[2] || stream[3] != magic[3] {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if stream[4] != formatVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, stream[4])
+	// Integrity first: a v2 stream whose CRC32C footer mismatches is
+	// rejected before any payload byte is interpreted.
+	stream, err := checkFooter(stream)
+	if err != nil {
+		return nil, err
+	}
+	if len(stream) < 7 {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
 	}
 	alg := Algorithm(stream[5])
 	nd := int(stream[6])
@@ -300,9 +360,18 @@ func DecompressParallel(stream []byte, workers int) (*Result, error) {
 		dims[i] = int(v)
 		buf = buf[k:]
 	}
+	// Reject impossible headers before any decoder allocates: the dims
+	// product must fit in an int (CheckDims) and be plausible against the
+	// payload actually present.
+	n, err := grid.CheckDims(dims)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(buf) == 0 || n > len(buf)*maxPointsPerByte {
+		return nil, fmt.Errorf("%w: %d points declared for %d payload bytes", ErrCorrupt, n, len(buf))
+	}
 
 	var f *grid.Field
-	var err error
 	switch alg {
 	case SZ3:
 		f, err = sz3.DecompressWorkers(buf, dims, workers)
