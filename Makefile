@@ -5,12 +5,14 @@
 # sharded entropy coder, and the chunked/parallel facade tests), and a
 # short fuzz pass over every decoder-facing fuzz target.
 # `make bench` snapshots the hot-path benchmarks into
-# results/BENCH_pr1.json (before-numbers are the recorded seed baseline).
+# results/BENCH_pr1.json (before-numbers are the recorded seed baseline)
+# and the per-stage telemetry snapshot into results/BENCH_pr3.json
+# (`make bench-pr3` runs just the latter).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race check bench fuzz-smoke cover
+.PHONY: all build test vet race check bench bench-pr3 fuzz-smoke cover
 
 all: check
 
@@ -45,8 +47,25 @@ cover:
 
 check: build test vet race fuzz-smoke
 
-bench:
+bench: bench-pr3
 	@mkdir -p results
 	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchtime 5x . | tee results/bench_hotpath_raw.txt
 	sh scripts/bench_json.sh results/bench_hotpath_raw.txt > results/BENCH_pr1.json
 	@echo wrote results/BENCH_pr1.json
+
+# Per-stage telemetry snapshot: one observed compression (all five
+# pipeline stages), the observer on/off overhead benchmark, and the
+# AllocsPerRun zero-allocation guard for the disabled path.
+bench-pr3:
+	@mkdir -p results
+	$(GO) run ./cmd/scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp \
+	    -out results/bench_pr3.scdc -stats -statsout results/bench_pr3.stats.json \
+	    | tee results/bench_pr3_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkObserverOverhead' -benchtime 5x . \
+	    | tee -a results/bench_pr3_raw.txt
+	$(GO) test -run 'TestNilFastPathZeroAllocs' -count=1 -v ./internal/obs/ \
+	    | tee -a results/bench_pr3_raw.txt
+	sh scripts/bench_json_pr3.sh results/bench_pr3.stats.json results/bench_pr3_raw.txt \
+	    > results/BENCH_pr3.json
+	@rm -f results/bench_pr3.scdc
+	@echo wrote results/BENCH_pr3.json

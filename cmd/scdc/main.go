@@ -23,14 +23,26 @@
 //	scdc -z -in data.f32 -out data.scdc -dims 512x512x512 -eb 1e-3 \
 //	     -qp -workers 8 -shards 8
 //	scdc -x -in data.scdc -out restored.f32 -workers 8
+//
+// -stats prints a per-stage span tree (interpolation, quantization, QP,
+// Huffman, lossless) and writes the full scdc-stats/1 JSON report next to
+// the output (override with -statsout). -cpuprofile, -memprofile and
+// -trace wire the standard runtime profilers around the whole run:
+//
+//	scdc -z -dataset Miranda -out m.scdc -rel 1e-4 -qp -stats \
+//	     -cpuprofile cpu.pprof -trace run.trace
 package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -38,36 +50,45 @@ import (
 	"scdc"
 	"scdc/datasets"
 	"scdc/internal/grid"
+	"scdc/internal/obs"
 	"scdc/internal/qoi"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "scdc:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scdc", flag.ContinueOnError)
 	var (
-		compress   = flag.Bool("z", false, "compress")
-		decompress = flag.Bool("x", false, "decompress")
-		in         = flag.String("in", "", "input file (raw floats for -z, scdc stream for -x)")
-		out        = flag.String("out", "", "output file")
-		dimsArg    = flag.String("dims", "", "input dimensions, e.g. 256x384x384 (first dim slowest)")
-		dtype      = flag.String("dtype", "f32", "raw element type: f32 or f64 (little endian)")
-		algArg     = flag.String("alg", "SZ3", "algorithm: SZ3, QoZ, HPEZ, MGARD, ZFP, TTHRESH, SPERR")
-		qp         = flag.Bool("qp", false, "enable quantization index prediction (interpolation-based algorithms)")
-		eb         = flag.Float64("eb", 0, "absolute error bound")
-		rel        = flag.Float64("rel", 0, "value-range-relative error bound")
-		dataset    = flag.String("dataset", "", "synthesize this benchmark dataset instead of reading -in")
-		field      = flag.Int("field", 0, "dataset field index (with -dataset)")
-		seed       = flag.Int64("seed", 1, "dataset synthesis seed (with -dataset)")
-		verify     = flag.Bool("verify", false, "after -z, decompress and report quality metrics")
-		workers    = flag.Int("workers", 1, "goroutines for intra-field parallelism (compress and decompress); output is identical for any value")
-		shards     = flag.Int("shards", 0, "split the entropy stream into this many Huffman shards for parallel decode (0 = single stream)")
+		compress   = fs.Bool("z", false, "compress")
+		decompress = fs.Bool("x", false, "decompress")
+		in         = fs.String("in", "", "input file (raw floats for -z, scdc stream for -x)")
+		out        = fs.String("out", "", "output file")
+		dimsArg    = fs.String("dims", "", "input dimensions, e.g. 256x384x384 (first dim slowest)")
+		dtype      = fs.String("dtype", "f32", "raw element type: f32 or f64 (little endian)")
+		algArg     = fs.String("alg", "SZ3", "algorithm: SZ3, QoZ, HPEZ, MGARD, ZFP, TTHRESH, SPERR")
+		qp         = fs.Bool("qp", false, "enable quantization index prediction (interpolation-based algorithms)")
+		eb         = fs.Float64("eb", 0, "absolute error bound")
+		rel        = fs.Float64("rel", 0, "value-range-relative error bound")
+		dataset    = fs.String("dataset", "", "synthesize this benchmark dataset instead of reading -in")
+		field      = fs.Int("field", 0, "dataset field index (with -dataset)")
+		seed       = fs.Int64("seed", 1, "dataset synthesis seed (with -dataset)")
+		verify     = fs.Bool("verify", false, "after -z, decompress and report quality metrics, compression ratio and bit rate")
+		workers    = fs.Int("workers", 1, "goroutines for intra-field parallelism (compress and decompress); output is identical for any value")
+		shards     = fs.Int("shards", 0, "split the entropy stream into this many Huffman shards for parallel decode (0 = single stream)")
+		stats      = fs.Bool("stats", false, "print a per-stage span tree and write the scdc-stats/1 JSON report")
+		statsOut   = fs.String("statsout", "", "stats JSON path (default <out>.stats.json; with -stats)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (runtime/pprof) to this file at exit")
+		traceFile  = fs.String("trace", "", "write a runtime execution trace (runtime/trace) to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	switch {
 	case *compress == *decompress:
@@ -76,8 +97,49 @@ func run() error {
 		return fmt.Errorf("-out is required")
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return err
+		}
+		defer trace.Stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scdc: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "scdc: memprofile:", err)
+			}
+		}()
+	}
+
+	statsPath := *statsOut
+	if *stats && statsPath == "" {
+		statsPath = *out + ".stats.json"
+	}
+
 	if *decompress {
-		return doDecompress(*in, *out, *dtype, *workers)
+		return doDecompress(*in, *out, *dtype, *workers, *stats, statsPath, stdout)
 	}
 
 	alg, err := scdc.ParseAlgorithm(*algArg)
@@ -111,7 +173,13 @@ func run() error {
 		opts.QP = scdc.DefaultQP()
 	}
 	t0 := time.Now()
-	stream, err := scdc.Compress(data, dims, opts)
+	var stream []byte
+	var st *scdc.CompressStats
+	if *stats {
+		stream, st, err = scdc.CompressWithStats(data, dims, opts)
+	} else {
+		stream, err = scdc.Compress(data, dims, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -120,10 +188,16 @@ func run() error {
 		return err
 	}
 	raw := len(data) * 8
-	fmt.Printf("%s %v dims=%v %d -> %d bytes  CR=%.2f  %.1f MB/s\n",
+	fmt.Fprintf(stdout, "%s %v dims=%v %d -> %d bytes  CR=%.2f  %.1f MB/s\n",
 		*out, alg, dims, raw, len(stream),
 		scdc.CompressionRatio(raw, len(stream)),
 		float64(raw)/1e6/dt.Seconds())
+
+	if st != nil {
+		if err := emitStats(stdout, st, statsPath); err != nil {
+			return err
+		}
+	}
 
 	if *verify {
 		res, err := scdc.Decompress(stream)
@@ -132,14 +206,20 @@ func run() error {
 		}
 		psnr, _ := scdc.PSNR(data, res.Data)
 		maxErr, _ := scdc.MaxAbsError(data, res.Data)
-		fmt.Printf("verify: PSNR=%.2f dB  max|err|=%.3g\n", psnr, maxErr)
+		ratio := scdc.CompressionRatio(raw, len(stream))
+		bpv := 8 * float64(len(stream)) / float64(len(data))
+		if st != nil {
+			ratio, bpv = st.Ratio, st.BitsPerValue
+		}
+		fmt.Fprintf(stdout, "verify: PSNR=%.2f dB  max|err|=%.3g  CR=%.2f  bits/value=%.3f\n",
+			psnr, maxErr, ratio, bpv)
 		// Quantity-of-interest check: regional average and derivative
 		// errors against their closed-form bounds (see internal/qoi).
 		fo, err1 := grid.FromSlice(data, dims...)
 		fd, err2 := grid.FromSlice(res.Data, dims...)
 		if err1 == nil && err2 == nil {
 			if rep, err := qoi.Check(fo, fd, maxErr); err == nil {
-				fmt.Printf("verify: QoI avg err=%.3g (bound %.3g)  deriv err=%.3g (bound %.3g)\n",
+				fmt.Fprintf(stdout, "verify: QoI avg err=%.3g (bound %.3g)  deriv err=%.3g (bound %.3g)\n",
 					rep.AvgErr, rep.AvgBound, rep.MaxDerivErr, rep.DerivBound)
 			}
 		}
@@ -147,7 +227,26 @@ func run() error {
 	return nil
 }
 
-func doDecompress(in, out, dtype string, workers int) error {
+// emitStats prints the human-readable span tree and writes the JSON report.
+func emitStats(w io.Writer, st *scdc.CompressStats, path string) error {
+	fmt.Fprintf(w, "stats: %s %s dims=%v points=%d CR=%.2f bits/value=%.3f\n",
+		st.Op, st.Algorithm, st.Dims, st.Points, st.Ratio, st.BitsPerValue)
+	fmt.Fprint(w, obs.Flamegraph(st.Report))
+	if path == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "stats: wrote %s\n", path)
+	return nil
+}
+
+func doDecompress(in, out, dtype string, workers int, stats bool, statsPath string, stdout io.Writer) error {
 	if in == "" {
 		return fmt.Errorf("-in is required with -x")
 	}
@@ -156,7 +255,12 @@ func doDecompress(in, out, dtype string, workers int) error {
 		return err
 	}
 	t0 := time.Now()
-	res, err := scdc.DecompressParallel(stream, workers)
+	var res *scdc.Result
+	if stats {
+		res, err = scdc.DecompressObserved(stream, workers)
+	} else {
+		res, err = scdc.DecompressParallel(stream, workers)
+	}
 	if err != nil {
 		return err
 	}
@@ -179,8 +283,13 @@ func doDecompress(in, out, dtype string, workers int) error {
 	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("%s %v dims=%v  %.1f MB/s\n", out, res.Algorithm, res.Dims,
+	fmt.Fprintf(stdout, "%s %v dims=%v  %.1f MB/s\n", out, res.Algorithm, res.Dims,
 		float64(len(buf))/1e6/dt.Seconds())
+	if res.Stats != nil {
+		if err := emitStats(stdout, res.Stats, statsPath); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -2,9 +2,12 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"scdc"
@@ -71,7 +74,7 @@ func TestDoDecompressRoundTrip(t *testing.T) {
 	if err := os.WriteFile(in, stream, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := doDecompress(in, out, "f64", 1); err != nil {
+	if err := doDecompress(in, out, "f64", 1, false, "", io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -87,10 +90,108 @@ func TestDoDecompressRoundTrip(t *testing.T) {
 			t.Fatalf("value %d: %g vs %g", i, got, data[i])
 		}
 	}
-	if err := doDecompress(in, out, "bogus", 1); err == nil {
+	if err := doDecompress(in, out, "bogus", 1, false, "", io.Discard); err == nil {
 		t.Error("unknown dtype accepted")
 	}
-	if err := doDecompress("", out, "f64", 1); err == nil {
+	if err := doDecompress("", out, "f64", 1, false, "", io.Discard); err == nil {
 		t.Error("missing input accepted")
+	}
+}
+
+// TestRunStatsAndProfiles drives the full CLI path: -z -stats -verify with
+// profiling hooks, then -x -stats on the produced stream.
+func TestRunStatsAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	// A smooth 3D field so SZ3 stays in interpolation mode.
+	n0, n1, n2 := 16, 20, 24
+	vals := make([]float32, n0*n1*n2)
+	for i := range vals {
+		x := float64(i%n2) / float64(n2)
+		y := float64((i/n2)%n1) / float64(n1)
+		z := float64(i/(n1*n2)) / float64(n0)
+		vals[i] = float32(math.Sin(7*x)*math.Cos(5*y) + 0.5*z*z)
+	}
+	in := writeRaw32(t, vals)
+	out := filepath.Join(dir, "x.scdc")
+	statsPath := filepath.Join(dir, "x.stats.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	trc := filepath.Join(dir, "run.trace")
+
+	var buf strings.Builder
+	err := run([]string{"-z", "-in", in, "-out", out, "-dims", "16x20x24",
+		"-alg", "SZ3", "-qp", "-eb", "0.01", "-workers", "2", "-shards", "2",
+		"-stats", "-statsout", statsPath, "-verify",
+		"-cpuprofile", cpu, "-memprofile", mem, "-trace", trc}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, stage := range []string{"interp", "quantize", "qp", "huffman", "lossless"} {
+		if !strings.Contains(got, stage) {
+			t.Errorf("stats output missing stage %q:\n%s", stage, got)
+		}
+	}
+	if !strings.Contains(got, "bits/value=") || !strings.Contains(got, "CR=") {
+		t.Errorf("verify output missing bit rate / ratio:\n%s", got)
+	}
+
+	blob, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st scdc.CompressStats
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatalf("stats JSON invalid: %v", err)
+	}
+	if st.Schema != scdc.StatsSchema || st.Report == nil {
+		t.Errorf("stats JSON incomplete: schema=%q report=%v", st.Schema, st.Report != nil)
+	}
+	for _, p := range []string{cpu, mem, trc} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+
+	// Round-trip through -x -stats.
+	restored := filepath.Join(dir, "x.f32")
+	xStats := filepath.Join(dir, "x.dec.stats.json")
+	buf.Reset()
+	err = run([]string{"-x", "-in", out, "-out", restored, "-dtype", "f32",
+		"-workers", "2", "-stats", "-statsout", xStats}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "decompress") {
+		t.Errorf("decompress stats output missing span tree:\n%s", buf.String())
+	}
+	if _, err := os.Stat(xStats); err != nil {
+		t.Errorf("decompress stats JSON missing: %v", err)
+	}
+	raw, err := os.ReadFile(restored)
+	if err != nil || len(raw) != 4*len(vals) {
+		t.Fatalf("restored file: %v (%d bytes)", err, len(raw))
+	}
+	for i := range vals {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		if math.Abs(float64(got)-float64(vals[i])) > 0.01+1e-6 {
+			t.Fatalf("value %d: %g vs %g", i, got, vals[i])
+		}
+	}
+}
+
+// TestRunFlagValidation pins the flag-set error paths.
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-z", "-x", "-out", "y"}, io.Discard); err == nil {
+		t.Error("both -z and -x accepted")
+	}
+	if err := run([]string{"-z"}, io.Discard); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-bogusflag"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-z", "-out", filepath.Join(t.TempDir(), "y")}, io.Discard); err == nil {
+		t.Error("missing -in/-dataset accepted")
 	}
 }

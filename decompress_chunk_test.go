@@ -1,0 +1,135 @@
+package scdc
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func chunkTestStream(t *testing.T) ([]float64, []int, []byte) {
+	t.Helper()
+	data, dims := integrityField(t)
+	stream, err := CompressChunked(data, dims, Options{Algorithm: SZ3, ErrorBound: 1e-4, QP: DefaultQP()}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, dims, stream
+}
+
+// TestDecompressChunkOutOfRange: chunk indexes outside [0, nChunks) are an
+// options error, not corruption.
+func TestDecompressChunkOutOfRange(t *testing.T) {
+	_, _, stream := chunkTestStream(t)
+	_, _, chunks, err := parseChunked(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{-1, len(chunks), len(chunks) + 7} {
+		if _, err := DecompressChunk(stream, idx); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("chunk %d: got %v, want ErrBadOptions", idx, err)
+		}
+	}
+	// In-range indexes still decode.
+	if _, err := DecompressChunk(stream, len(chunks)-1); err != nil {
+		t.Errorf("last chunk: %v", err)
+	}
+}
+
+// TestDecompressChunkCorruptBody: damage confined to one chunk's body must
+// surface as that chunk's ErrIntegrity. The outer CRC is recomputed after
+// the flip so the container itself parses — isolating the inner check.
+func TestDecompressChunkCorruptBody(t *testing.T) {
+	_, _, stream := chunkTestStream(t)
+	_, _, chunks, err := parseChunked(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate chunk 1 inside the container and flip a byte in the middle of
+	// its body (past its header, before its footer).
+	body := stream[:len(stream)-footerSize]
+	target := chunks[1]
+	off := -1
+	for i := 0; i+len(target) <= len(body); i++ {
+		if &body[i] == &target[0] {
+			off = i
+			break
+		}
+	}
+	if off < 0 {
+		t.Fatal("chunk 1 not located in container")
+	}
+	mut := append([]byte(nil), body...)
+	mut[off+len(target)/2] ^= 0x20
+	mut = appendFooter(mut)
+
+	if _, err := DecompressChunk(mut, 1); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("corrupt chunk 1: got %v, want ErrIntegrity", err)
+	}
+	// Undamaged siblings still decode.
+	if _, err := DecompressChunk(mut, 0); err != nil {
+		t.Errorf("chunk 0 of mutated container: %v", err)
+	}
+	// The whole-field path reports the same damage.
+	if _, err := DecompressChunked(mut, 2); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("DecompressChunked: got %v, want ErrIntegrity", err)
+	}
+}
+
+// buildV1Chunked rebuilds a chunked container as the legacy v1 writer laid
+// it out: v1 outer header, no outer footer, chunks converted with conv.
+func buildV1Chunked(t *testing.T, stream []byte, conv func([]byte) []byte) []byte {
+	t.Helper()
+	cdims, extent, chunks, err := parseChunked(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(nil), magic[:]...)
+	v1 = append(v1, formatV1, 0xFF, byte(len(cdims)))
+	for _, d := range cdims {
+		v1 = binary.AppendUvarint(v1, uint64(d))
+	}
+	v1 = binary.AppendUvarint(v1, uint64(extent))
+	v1 = binary.AppendUvarint(v1, uint64(len(chunks)))
+	for _, c := range chunks {
+		c = conv(c)
+		v1 = binary.AppendUvarint(v1, uint64(len(c)))
+		v1 = append(v1, c...)
+	}
+	return v1
+}
+
+// TestDecompressChunkV1Containers: partial decompression must read both a
+// v1 outer container holding v2 chunks and a fully legacy v1-everywhere
+// container, bit-identically to the v2 stream.
+func TestDecompressChunkV1Containers(t *testing.T) {
+	_, _, stream := chunkTestStream(t)
+	_, _, chunks, err := parseChunked(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DecompressChunk(stream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1outer := buildV1Chunked(t, stream, func(c []byte) []byte { return c })
+	fullV1 := buildV1Chunked(t, stream, func(c []byte) []byte { return toV1(t, c) })
+
+	for name, s := range map[string][]byte{"v1-outer": v1outer, "full-v1": fullV1} {
+		got, err := DecompressChunk(s, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("%s: %d values, want %d", name, len(got.Data), len(want.Data))
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%s: decode differs at %d", name, i)
+			}
+		}
+		if _, err := DecompressChunk(s, len(chunks)); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("%s out-of-range: got %v, want ErrBadOptions", name, err)
+		}
+	}
+}

@@ -66,11 +66,10 @@ func Inspect(stream []byte) (*StreamInfo, error) {
 			info.PayloadBytes += len(c)
 		}
 		if len(chunks) > 0 {
-			ci, err := Inspect(chunks[0])
+			info.Algorithm, err = chunkAlgorithm(chunks[0])
 			if err != nil {
 				return nil, fmt.Errorf("chunk 0: %w", err)
 			}
-			info.Algorithm = ci.Algorithm
 		}
 	} else {
 		alg := Algorithm(body[5])
@@ -101,4 +100,31 @@ func Inspect(stream []byte) (*StreamInfo, error) {
 		info.Points *= d
 	}
 	return info, nil
+}
+
+// chunkAlgorithm reads the algorithm byte from an embedded chunk's fixed
+// header prefix (magic, version, algorithm). The chunk's own CRC32C
+// footer is deliberately NOT re-verified: the enclosing container's
+// footer pass already covered every chunk byte, so inspecting a
+// 1000-chunk stream costs one CRC pass over the container, not a second
+// pass over chunk 0 plus a recursive header walk (see
+// BenchmarkInspectChunked).
+func chunkAlgorithm(chunk []byte) (Algorithm, error) {
+	if len(chunk) < 7 || chunk[0] != magic[0] || chunk[1] != magic[1] ||
+		chunk[2] != magic[2] || chunk[3] != magic[3] {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	switch chunk[4] {
+	case formatV1, formatVersion:
+	default:
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, chunk[4])
+	}
+	if chunk[5] == 0xFF {
+		return 0, fmt.Errorf("%w: nested chunked stream", ErrCorrupt)
+	}
+	alg := Algorithm(chunk[5])
+	if alg >= numAlgorithms {
+		return 0, fmt.Errorf("%w: unknown algorithm %d", ErrCorrupt, alg)
+	}
+	return alg, nil
 }

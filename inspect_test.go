@@ -62,3 +62,58 @@ func TestInspectErrors(t *testing.T) {
 		t.Error("garbage accepted")
 	}
 }
+
+func TestChunkAlgorithm(t *testing.T) {
+	data, dims, err := datasets.Generate("Miranda", 0, []int{8, 10, 12}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := Compress(data, dims, Options{Algorithm: MGARD, RelativeBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := chunkAlgorithm(stream)
+	if err != nil || alg != MGARD {
+		t.Fatalf("chunkAlgorithm = %v, %v", alg, err)
+	}
+	for _, bad := range [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXX\x02\x00\x03full-length-but-bad-magic"),
+		{'S', 'C', 'D', 'C', 0x07, 0x00, 0x03}, // unsupported version
+		{'S', 'C', 'D', 'C', 0x02, 0xFF, 0x03}, // nested chunked marker
+		{'S', 'C', 'D', 'C', 0x02, 0x63, 0x03}, // unknown algorithm
+	} {
+		if _, err := chunkAlgorithm(bad); err == nil {
+			t.Errorf("chunkAlgorithm(%q) accepted", bad)
+		}
+	}
+}
+
+// BenchmarkInspectChunked pins the cost of inspecting a many-chunk
+// container: one CRC pass over the container, no recursive per-chunk
+// verification. Before the chunkAlgorithm fast path this re-verified
+// chunk 0's own footer and built a throwaway StreamInfo.
+func BenchmarkInspectChunked(b *testing.B) {
+	// 1000 chunks of 2x6x6 points along dims[0].
+	data, dims, err := datasets.Generate("Miranda", 0, []int{2000, 6, 6}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := CompressChunked(data, dims, Options{Algorithm: SZ3, RelativeBound: 1e-3}, 8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, err := Inspect(stream)
+	if err != nil || info.Chunks != 1000 {
+		b.Fatalf("setup: chunks=%d err=%v", info.Chunks, err)
+	}
+	b.SetBytes(int64(len(stream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Inspect(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "scdc/internal/huffman"
+import (
+	"scdc/internal/huffman"
+	"scdc/internal/obs"
+)
 
 // ChooseEncoding picks between the original index array q and its
 // QP-transformed counterpart qp by estimated entropy-coded size, then
@@ -23,11 +26,43 @@ func ChooseEncoding(q, qp []int32) (huff []byte, useQP bool) {
 // huffman.EncodeSharded), built on up to workers goroutines. shards <= 1
 // produces the legacy single-body stream.
 func ChooseEncodingSharded(q, qp []int32, shards, workers int) (huff []byte, useQP bool) {
+	return ChooseEncodingObs(q, qp, shards, workers, nil)
+}
+
+// ChooseEncodingObs is ChooseEncodingSharded with the entropy decision
+// and encoder output surfaced on sp (which may be nil — the decision is
+// identical and nothing extra is computed). When observed, sp gains:
+//
+//	gauges   entropy_q_bits, entropy_qp_bits (bits/index, before/after QP)
+//	counters est_bytes_q, est_bytes_qp, qp_kept (0/1),
+//	         bytes_out, table_bytes, symbols
+//
+// Observation never changes the produced stream: the decision still uses
+// only EstimateBytes on the same inputs.
+func ChooseEncodingObs(q, qp []int32, shards, workers int, sp *obs.Span) (huff []byte, useQP bool) {
+	if sp != nil {
+		sp.Add("symbols", int64(len(q)))
+		sp.Set("entropy_q_bits", huffman.EntropyBits(q))
+		sp.Add("est_bytes_q", int64(huffman.EstimateBytes(q)))
+		if qp != nil {
+			sp.Set("entropy_qp_bits", huffman.EntropyBits(qp))
+			sp.Add("est_bytes_qp", int64(huffman.EstimateBytes(qp)))
+		}
+	}
 	if qp != nil && huffman.EstimateBytes(qp) < huffman.EstimateBytes(q) {
 		q, useQP = qp, true
 	}
 	if shards <= 1 {
-		return huffman.Encode(q), useQP
+		huff = huffman.Encode(q)
+	} else {
+		huff = huffman.EncodeSharded(q, shards, workers)
 	}
-	return huffman.EncodeSharded(q, shards, workers), useQP
+	if sp != nil {
+		if useQP {
+			sp.Add("qp_kept", 1)
+		}
+		sp.Add("bytes_out", int64(len(huff)))
+		sp.Add("table_bytes", int64(huffman.TableBytes(huff)))
+	}
+	return huff, useQP
 }

@@ -37,17 +37,13 @@ func denseCounts(q []int32, lo, hi int32) []uint64 {
 	return counts
 }
 
-// EstimateBytes returns the approximate encoded size of q (Huffman body
-// via Shannon entropy, plus the table header) without building codes.
-// Used by the QP adaptive fallback to pick a stream before paying for a
-// full encode.
-func EstimateBytes(q []int32) int {
+// entropyStats histograms q once and returns the total Shannon
+// information content in bits plus the number of distinct symbols.
+func entropyStats(q []int32) (bits float64, distinct int) {
 	if len(q) == 0 {
-		return 2
+		return 0, 0
 	}
 	lo, hi, ok := symbolRange(q)
-	var bits float64
-	distinct := 0
 	if ok {
 		counts := denseCounts(q, lo, hi)
 		n := float64(len(q))
@@ -71,7 +67,30 @@ func EstimateBytes(q []int32) int {
 			bits += float64(c) * neglog2(p)
 		}
 	}
+	return bits, distinct
+}
+
+// EstimateBytes returns the approximate encoded size of q (Huffman body
+// via Shannon entropy, plus the table header) without building codes.
+// Used by the QP adaptive fallback to pick a stream before paying for a
+// full encode.
+func EstimateBytes(q []int32) int {
+	if len(q) == 0 {
+		return 2
+	}
+	bits, distinct := entropyStats(q)
 	return int(bits/8) + distinct*3 + 16
+}
+
+// EntropyBits returns the Shannon entropy of q in bits per symbol — the
+// quantity QP minimizes (paper Section V-A). Telemetry only: it costs a
+// full histogram pass.
+func EntropyBits(q []int32) float64 {
+	if len(q) == 0 {
+		return 0
+	}
+	bits, _ := entropyStats(q)
+	return bits / float64(len(q))
 }
 
 // neglog2 returns -log2(p) for p in (0, 1].

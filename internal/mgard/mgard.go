@@ -32,6 +32,7 @@ import (
 	"scdc/internal/grid"
 	"scdc/internal/huffman"
 	"scdc/internal/lossless"
+	"scdc/internal/obs"
 	"scdc/internal/quantizer"
 	"scdc/internal/sz3"
 )
@@ -67,6 +68,9 @@ type Options struct {
 	Shards int
 	// Trace optionally captures internals for characterization.
 	Trace *sz3.Trace
+	// Obs, when non-nil, receives per-stage telemetry spans. Nil disables
+	// observation; the output stream is byte-identical either way.
+	Obs *obs.Span
 }
 
 // DefaultOptions returns the default configuration.
@@ -137,7 +141,23 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		qp = make([]int32, len(data))
 	}
 
+	// The MGARD decomposition fuses projection, detail quantization and QP
+	// into one sequential sweep; one wall-clock span covers it and the
+	// "quantize"/"qp" children carry the outcome counters.
+	interpSp := opts.Obs.Child("interp")
 	coarse, literals := compressCore(data, f.Dims(), opts, levels, q, qp, pred)
+	interpSp.Add("points", int64(len(data)))
+	interpSp.End()
+	quantSp := opts.Obs.Child("quantize")
+	quantSp.Add("points", int64(len(data)))
+	quantSp.Add("unpredictable", int64(len(literals)))
+	quantSp.Add("coarse", int64(len(coarse)))
+	quantSp.End()
+	if pred != nil {
+		qpSp := opts.Obs.Child("qp")
+		qpSp.Add("compensated", int64(pred.Compensated))
+		qpSp.End()
+	}
 
 	if opts.Trace != nil {
 		opts.Trace.Mode = sz3.ModeInterp
@@ -149,7 +169,9 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		}
 	}
 
-	huff, kept := core.ChooseEncodingSharded(q, qp, opts.Shards, opts.Workers)
+	encSp := opts.Obs.Child("huffman")
+	huff, kept := core.ChooseEncodingObs(q, qp, opts.Shards, opts.Workers, encSp)
+	encSp.End()
 	qpCfg := opts.QP
 	if !kept {
 		qpCfg = core.Config{}
@@ -171,7 +193,12 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	for _, v := range literals {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
-	return lossless.Compress(opts.Lossless, buf)
+	llSp := opts.Obs.Child("lossless")
+	out, err := lossless.Compress(opts.Lossless, buf)
+	llSp.Add("bytes_in", int64(len(buf)))
+	llSp.Add("bytes_out", int64(len(out)))
+	llSp.End()
+	return out, err
 }
 
 // Decompress reconstructs a field with the given dims from an MGARD
@@ -184,11 +211,21 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 // entropy decoding of sharded streams. The reconstruction is byte-identical
 // for any worker count.
 func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, error) {
+	return DecompressObs(payload, dims, workers, nil)
+}
+
+// DecompressObs is DecompressWorkers with per-stage telemetry recorded on
+// sp (which may be nil). The reconstruction is identical either way.
+func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid.Field, error) {
 	n, err := grid.CheckDims(dims)
 	if err != nil {
 		return nil, err
 	}
+	llSp := sp.Child("lossless")
 	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
+	llSp.Add("bytes_in", int64(len(payload)))
+	llSp.Add("bytes_out", int64(len(buf)))
+	llSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -241,7 +278,11 @@ func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, er
 		return nil, fmt.Errorf("%w: bad huffman length", ErrCorrupt)
 	}
 	buf = buf[k:]
+	huffSp := sp.Child("huffman")
 	enc, err := huffman.DecodeParallel(buf[:hl], workers)
+	huffSp.Add("bytes_in", int64(hl))
+	huffSp.Add("symbols", int64(len(enc)))
+	huffSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -270,7 +311,11 @@ func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, er
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 	}
-	if err := decompressCore(out.Data, dims, eb, int(levels), int32(radius), enc, coarse, literals, pred); err != nil {
+	interpSp := sp.Child("interp")
+	err = decompressCore(out.Data, dims, eb, int(levels), int32(radius), enc, coarse, literals, pred)
+	interpSp.Add("points", int64(n))
+	interpSp.End()
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -1,0 +1,202 @@
+// Package obs is the zero-dependency telemetry layer of the compression
+// stack: hierarchical timing spans, typed counters and gauges, and a
+// Recorder that snapshots everything into a serializable Report.
+//
+// The design contract is "nil means off": a nil *Recorder yields nil
+// *Span values, and every Span method no-ops on a nil receiver. The hot
+// paths therefore carry a single pointer and pay only a nil check (plus a
+// zero time.Time copy) when observation is disabled — no interface
+// dispatch, no allocation, no time.Now call. TestNilFastPathZeroAllocs
+// pins the no-allocation property with testing.AllocsPerRun.
+//
+// Timing uses time.Now, whose Time value carries Go's monotonic clock
+// reading; durations are therefore immune to wall-clock steps.
+//
+// Two span flavors exist:
+//
+//   - Child: a wall-clock span. End() records the elapsed time since
+//     creation. Use for stages that run once, contiguously.
+//   - ChildAccum: an accumulating span. Its duration is the sum of
+//     explicit Begin/AddSince windows, letting interleaved stages (the
+//     per-pass interpolation and QP sweeps of the multilevel schedule)
+//     each aggregate their own time into one span. End() is a no-op.
+//
+// Spans are safe for concurrent use: parallel workers may open children
+// of the same parent and accumulate durations and counters concurrently.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder collects top-level spans for one observed operation. The zero
+// value is NOT usable; construct with New. A nil *Recorder is the
+// disabled state.
+type Recorder struct {
+	mu   sync.Mutex
+	tops []*Span
+}
+
+// New returns an enabled Recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Span opens a top-level wall-clock span. On a nil Recorder it returns a
+// nil Span, which disables the whole subtree at zero cost.
+func (r *Recorder) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{name: name, begin: time.Now()}
+	r.mu.Lock()
+	r.tops = append(r.tops, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Report snapshots the recorder into a serializable tree. A recorder with
+// exactly one top-level span reports that span directly; several
+// top-level spans are wrapped under a synthetic "session" root. Nil
+// recorders report nil.
+func (r *Recorder) Report() *Report {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	tops := make([]*Span, len(r.tops))
+	copy(tops, r.tops)
+	r.mu.Unlock()
+	if len(tops) == 1 {
+		return tops[0].Report()
+	}
+	rep := &Report{Name: "session"}
+	for _, s := range tops {
+		c := s.Report()
+		rep.NS += c.NS
+		rep.Children = append(rep.Children, c)
+	}
+	return rep
+}
+
+// Span is one node of the timing tree. All methods are no-ops on a nil
+// receiver and safe for concurrent use on a shared span.
+type Span struct {
+	name  string
+	begin time.Time
+	accum bool
+	durNS atomic.Int64
+
+	mu       sync.Mutex
+	children []*Span
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// Child opens a wall-clock child span; close it with End.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, begin: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// ChildAccum opens an accumulating child span: its duration is the sum of
+// Begin/AddSince windows and End is a no-op.
+func (s *Span) ChildAccum(name string) *Span {
+	c := s.Child(name)
+	if c != nil {
+		c.accum = true
+	}
+	return c
+}
+
+// End closes a wall-clock span, recording the elapsed time since Child.
+// Accumulating spans keep their summed duration.
+func (s *Span) End() {
+	if s == nil || s.accum {
+		return
+	}
+	s.durNS.Store(int64(time.Since(s.begin)))
+}
+
+// Begin returns the current time for a later AddSince, or the zero Time
+// on a nil span (avoiding the time.Now call entirely when disabled).
+func (s *Span) Begin() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// AddSince accumulates the time elapsed since t0 (a Begin result) into
+// the span's duration. Concurrent accumulation is safe.
+func (s *Span) AddSince(t0 time.Time) {
+	if s == nil {
+		return
+	}
+	s.durNS.Add(int64(time.Since(t0)))
+}
+
+// Add increments counter name by delta.
+func (s *Span) Add(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64, 4)
+	}
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// Set records gauge name (last write wins).
+func (s *Span) Set(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.gauges == nil {
+		s.gauges = make(map[string]float64, 4)
+	}
+	s.gauges[name] = v
+	s.mu.Unlock()
+}
+
+// Report snapshots the span subtree. An unended wall-clock span reports
+// the time elapsed so far.
+func (s *Span) Report() *Report {
+	if s == nil {
+		return nil
+	}
+	ns := s.durNS.Load()
+	if ns == 0 && !s.accum {
+		ns = int64(time.Since(s.begin))
+	}
+	s.mu.Lock()
+	rep := &Report{Name: s.name, NS: ns}
+	if len(s.counters) > 0 {
+		rep.Counters = make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			rep.Counters[k] = v
+		}
+	}
+	if len(s.gauges) > 0 {
+		rep.Gauges = make(map[string]float64, len(s.gauges))
+		for k, v := range s.gauges {
+			rep.Gauges[k] = v
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		rep.Children = append(rep.Children, c.Report())
+	}
+	return rep
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	r := New()
+	root := r.Span("compress")
+	c1 := root.Child("interp")
+	time.Sleep(time.Millisecond)
+	c1.Add("points", 100)
+	c1.End()
+	c2 := root.ChildAccum("qp")
+	t0 := c2.Begin()
+	time.Sleep(time.Millisecond)
+	c2.AddSince(t0)
+	c2.Set("entropy_bits", 3.5)
+	root.End()
+
+	rep := r.Report()
+	if rep == nil || rep.Name != "compress" {
+		t.Fatalf("root report: %+v", rep)
+	}
+	if len(rep.Children) != 2 {
+		t.Fatalf("children: %d", len(rep.Children))
+	}
+	if rep.NS <= 0 || rep.NS < rep.Children[0].NS {
+		t.Errorf("root ns %d vs child %d", rep.NS, rep.Children[0].NS)
+	}
+	if got := rep.Counter("interp", "points"); got != 100 {
+		t.Errorf("points counter = %d", got)
+	}
+	qp := rep.Find("qp")
+	if qp == nil || qp.NS < int64(time.Millisecond)/2 {
+		t.Fatalf("accum span: %+v", qp)
+	}
+	if qp.Gauges["entropy_bits"] != 3.5 {
+		t.Errorf("gauge: %v", qp.Gauges)
+	}
+	if rep.Find("missing") != nil {
+		t.Error("Find(missing) != nil")
+	}
+}
+
+func TestMultipleTopSpansWrapped(t *testing.T) {
+	r := New()
+	r.Span("a").End()
+	r.Span("b").End()
+	rep := r.Report()
+	if rep.Name != "session" || len(rep.Children) != 2 {
+		t.Fatalf("wrapped report: %+v", rep)
+	}
+}
+
+// TestNilRecorder exercises the full disabled API surface: every call
+// must be a safe no-op yielding nil reports.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	sp := r.Span("compress")
+	if sp != nil {
+		t.Fatal("nil recorder produced a span")
+	}
+	c := sp.Child("x")
+	c.Add("n", 1)
+	c.Set("g", 2)
+	c.AddSince(c.Begin())
+	c.End()
+	sp.ChildAccum("y").End()
+	if r.Report() != nil || sp.Report() != nil {
+		t.Error("nil report expected")
+	}
+}
+
+// TestNilFastPathZeroAllocs is the obs-overhead guard of the ISSUE: the
+// nil-recorder fast path on the instrumented hot-path shape (child span,
+// timer window, counters, gauges) must not allocate.
+func TestNilFastPathZeroAllocs(t *testing.T) {
+	var r *Recorder
+	sp := r.Span("compress")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := sp.Child("interp")
+		t0 := c.Begin()
+		c.AddSince(t0)
+		c.Add("bytes_out", 4096)
+		c.Set("entropy_bits", 1.25)
+		c.End()
+		a := sp.ChildAccum("qp")
+		a.AddSince(a.Begin())
+		a.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil fast path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentSpans exercises parallel children + shared-span counters
+// under the race detector (make race includes this package's deps).
+func TestConcurrentSpans(t *testing.T) {
+	r := New()
+	root := r.Span("parallel")
+	agg := root.ChildAccum("busy")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c := root.Child("chunk")
+				t0 := agg.Begin()
+				c.Add("n", 1)
+				agg.AddSince(t0)
+				c.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	rep := r.Report()
+	if len(rep.Children) != 801 { // 800 chunks + busy
+		t.Fatalf("children: %d", len(rep.Children))
+	}
+}
+
+func TestReportJSONAndFlamegraph(t *testing.T) {
+	r := New()
+	root := r.Span("compress")
+	c := root.Child("huffman")
+	c.Add("bytes_out", 123)
+	c.End()
+	root.End()
+	rep := r.Report()
+
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "compress" || back.Children[0].Counters["bytes_out"] != 123 {
+		t.Fatalf("round-trip: %+v", back)
+	}
+
+	fg := Flamegraph(rep)
+	for _, want := range []string{"compress", "huffman", "bytes_out=123", "%"} {
+		if !strings.Contains(fg, want) {
+			t.Errorf("flamegraph missing %q:\n%s", want, fg)
+		}
+	}
+	if Flamegraph(nil) != "" {
+		t.Error("nil flamegraph not empty")
+	}
+}

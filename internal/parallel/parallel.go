@@ -44,6 +44,42 @@ func ForEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEachWorker is ForEach, additionally passing the stable worker index
+// (0 <= worker < min(workers, n)) claiming each item. Each worker index is
+// owned by exactly one goroutine, so callers can key per-worker state
+// (scratch buffers, telemetry spans) on it without synchronization. The
+// sequential path uses worker 0 for every item.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(w, int(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // ForEachChunked runs fn(lo, hi) over consecutive index ranges
 // [k*grain, min((k+1)*grain, n)) covering [0, n), on up to workers
 // goroutines. Fine-grained loops should prefer it over ForEach: each

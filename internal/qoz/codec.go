@@ -5,6 +5,7 @@ import (
 
 	"scdc/internal/core"
 	"scdc/internal/grid"
+	"scdc/internal/obs"
 	"scdc/internal/quantizer"
 	"scdc/internal/sz3"
 )
@@ -44,7 +45,7 @@ func (pl *plan) specFor(level int) sz3.LevelSpec {
 // to workers goroutines (the output is identical for any worker count).
 // data is overwritten with decompressed values. Returns the anchor values
 // and the literal stream.
-func compressCore(data []float64, dims []int, pl plan, q, qp []int32, pred *core.Predictor, workers int) (anchors, literals []float64) {
+func compressCore(data []float64, dims []int, pl plan, q, qp []int32, pred *core.Predictor, workers int, sp *obs.Span) (anchors, literals []float64) {
 	center := pl.radius
 	forEachAnchor(dims, pl.levels, func(idx int) {
 		anchors = append(anchors, data[idx])
@@ -53,13 +54,13 @@ func compressCore(data []float64, dims []int, pl plan, q, qp []int32, pred *core
 			qp[idx] = center
 		}
 	})
-	literals = sz3.CompressSchedule(data, dims, pl.levels, workers, pl.specFor, q, qp, pred, nil)
+	literals = sz3.CompressSchedule(data, dims, pl.levels, workers, pl.specFor, q, qp, pred, nil, sp)
 	return anchors, literals
 }
 
 // decompressCore reverses compressCore. enc is overwritten in place with
 // the recovered original symbols.
-func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, literals []float64, pred *core.Predictor, workers int) error {
+func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, literals []float64, pred *core.Predictor, workers int, sp *obs.Span) error {
 	ai := 0
 	center := pl.radius
 	var decErr error
@@ -81,5 +82,5 @@ func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, l
 	if ai != len(anchors) {
 		return fmt.Errorf("%w: %d unused anchors", ErrCorrupt, len(anchors)-ai)
 	}
-	return sz3.DecompressSchedule(data, dims, pl.levels, workers, pl.specFor, enc, literals, 0, pred, ErrCorrupt)
+	return sz3.DecompressSchedule(data, dims, pl.levels, workers, pl.specFor, enc, literals, 0, pred, ErrCorrupt, sp)
 }

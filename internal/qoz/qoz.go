@@ -29,6 +29,7 @@ import (
 	"scdc/internal/huffman"
 	"scdc/internal/interp"
 	"scdc/internal/lossless"
+	"scdc/internal/obs"
 	"scdc/internal/quantizer"
 	"scdc/internal/sz3"
 )
@@ -64,6 +65,9 @@ type Options struct {
 	Shards int
 	// Trace optionally captures internals for characterization.
 	Trace *sz3.Trace
+	// Obs, when non-nil, receives per-stage telemetry spans. Nil disables
+	// observation; the output stream is byte-identical either way.
+	Obs *obs.Span
 }
 
 // DefaultOptions returns the default tuned configuration.
@@ -113,7 +117,10 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
+	tuneSp := opts.Obs.Child("choose")
 	pl := buildPlan(f, opts)
+	tuneSp.Add("levels", int64(pl.levels))
+	tuneSp.End()
 
 	// Pooled scratch (see internal/quantizer): every slot is written before
 	// it is read, so recycled contents are fine.
@@ -134,7 +141,12 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		defer quantizer.PutIndexBuf(qp)
 	}
 
-	anchors, literals := compressCore(data, f.Dims(), pl, q, qp, pred, opts.Workers)
+	anchors, literals := compressCore(data, f.Dims(), pl, q, qp, pred, opts.Workers, opts.Obs)
+	quantSp := opts.Obs.Child("quantize")
+	quantSp.Add("points", int64(len(data)))
+	quantSp.Add("unpredictable", int64(len(literals)))
+	quantSp.Add("anchors", int64(len(anchors)))
+	quantSp.End()
 
 	if opts.Trace != nil {
 		opts.Trace.Mode = sz3.ModeInterp
@@ -146,7 +158,9 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		}
 	}
 
-	huff, kept := core.ChooseEncodingSharded(q, qp, opts.Shards, opts.Workers)
+	encSp := opts.Obs.Child("huffman")
+	huff, kept := core.ChooseEncodingObs(q, qp, opts.Shards, opts.Workers, encSp)
+	encSp.End()
 	if !kept {
 		pl.qp = core.Config{}
 	}
@@ -162,7 +176,12 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	for _, v := range literals {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
-	return lossless.Compress(opts.Lossless, buf)
+	llSp := opts.Obs.Child("lossless")
+	out, err := lossless.Compress(opts.Lossless, buf)
+	llSp.Add("bytes_in", int64(len(buf)))
+	llSp.Add("bytes_out", int64(len(out)))
+	llSp.End()
+	return out, err
 }
 
 func encodePlan(pl plan, nd int) []byte {
@@ -250,11 +269,21 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 // entropy decoding (for sharded streams) and interpolation passes. The
 // reconstruction is byte-identical for any worker count.
 func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, error) {
+	return DecompressObs(payload, dims, workers, nil)
+}
+
+// DecompressObs is DecompressWorkers with per-stage telemetry recorded on
+// sp (which may be nil). The reconstruction is identical either way.
+func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid.Field, error) {
 	n, err := grid.CheckDims(dims)
 	if err != nil {
 		return nil, err
 	}
+	llSp := sp.Child("lossless")
 	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
+	llSp.Add("bytes_in", int64(len(payload)))
+	llSp.Add("bytes_out", int64(len(buf)))
+	llSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -279,7 +308,11 @@ func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, er
 		return nil, fmt.Errorf("%w: bad huffman length", ErrCorrupt)
 	}
 	buf = buf[k:]
+	huffSp := sp.Child("huffman")
 	enc, err := huffman.DecodeParallel(buf[:hl], workers)
+	huffSp.Add("bytes_in", int64(hl))
+	huffSp.Add("symbols", int64(len(enc)))
+	huffSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -308,7 +341,7 @@ func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, er
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 	}
-	if err := decompressCore(out.Data, dims, pl, enc, anchors, literals, pred, workers); err != nil {
+	if err := decompressCore(out.Data, dims, pl, enc, anchors, literals, pred, workers, sp); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -6,6 +6,7 @@ import (
 	"scdc/internal/core"
 	"scdc/internal/grid"
 	"scdc/internal/interp"
+	"scdc/internal/obs"
 	"scdc/internal/parallel"
 	"scdc/internal/quantizer"
 )
@@ -46,17 +47,33 @@ type LevelSpec struct {
 // q, qp, data and literal streams). Stored symbols go to q; when qp is
 // non-nil the QP-transformed symbols go to qp via pred. New unpredictable
 // values are appended to literals, which is returned.
+//
+// sp, when non-nil, gains accumulating "interp" and "qp" stage spans
+// (summed over passes), with per-pass and per-chunk child spans under
+// "interp" for passes large enough to run parallel — the worker-skew
+// view. A nil sp costs one pointer check per pass.
 func CompressSchedule(data []float64, dims []int, levels, workers int,
 	specFor func(level int) LevelSpec,
-	q, qp []int32, pred *core.Predictor, literals []float64) []float64 {
+	q, qp []int32, pred *core.Predictor, literals []float64, sp *obs.Span) []float64 {
 
+	var interpSp, qpSp *obs.Span
+	if sp != nil {
+		interpSp = sp.ChildAccum("interp")
+		if qp != nil {
+			qpSp = sp.ChildAccum("qp")
+		}
+	}
 	strides := grid.Strides(dims)
 	for level := levels; level >= 1; level-- {
-		sp := specFor(level)
-		forEachPass(dims, strides, level, sp.Order, func(pa *pass) {
-			literals = compressPass(data, q, pa, sp.Kind, sp.Quant, workers, literals)
+		lsp := specFor(level)
+		forEachPass(dims, strides, level, lsp.Order, func(pa *pass) {
+			t0 := interpSp.Begin()
+			literals = compressPass(data, q, pa, lsp.Kind, lsp.Quant, workers, literals, interpSp)
+			interpSp.AddSince(t0)
 			if qp != nil {
+				t1 := qpSp.Begin()
 				qpForwardPass(pa, q, qp, pred)
+				qpSp.AddSince(t1)
 			}
 		})
 	}
@@ -68,23 +85,36 @@ func CompressSchedule(data []float64, dims []int, levels, workers int,
 // recovered original symbols. lit0 is the number of literals already
 // consumed (the origin/anchor stage precedes the schedule). corrupt is the
 // caller's sentinel error for malformed streams.
+// sp, when non-nil, mirrors CompressSchedule's "qp" and "interp" stage
+// spans on the decode side.
 func DecompressSchedule(data []float64, dims []int, levels, workers int,
 	specFor func(level int) LevelSpec,
-	enc []int32, literals []float64, lit0 int, pred *core.Predictor, corrupt error) error {
+	enc []int32, literals []float64, lit0 int, pred *core.Predictor, corrupt error, sp *obs.Span) error {
 
+	var interpSp, qpSp *obs.Span
+	if sp != nil {
+		interpSp = sp.ChildAccum("interp")
+		if pred != nil {
+			qpSp = sp.ChildAccum("qp")
+		}
+	}
 	strides := grid.Strides(dims)
 	lit := lit0
 	var decErr error
 	for level := levels; level >= 1; level-- {
-		sp := specFor(level)
-		forEachPass(dims, strides, level, sp.Order, func(pa *pass) {
+		lsp := specFor(level)
+		forEachPass(dims, strides, level, lsp.Order, func(pa *pass) {
 			if decErr != nil {
 				return
 			}
 			if pred != nil {
+				t0 := qpSp.Begin()
 				qpInversePass(pa, enc, pred)
+				qpSp.AddSince(t0)
 			}
-			lit, decErr = decompressPass(data, enc, pa, sp.Kind, sp.Quant, workers, literals, lit, corrupt)
+			t1 := interpSp.Begin()
+			lit, decErr = decompressPass(data, enc, pa, lsp.Kind, lsp.Quant, workers, literals, lit, corrupt, interpSp)
+			interpSp.AddSince(t1)
 		})
 		if decErr != nil {
 			return decErr
@@ -129,11 +159,34 @@ func compressLine(data []float64, q []int32, pa *pass, base int,
 	return lits
 }
 
+// passSpan opens a wall-clock span for one parallel pass under the
+// accumulating interp span, or nil when observation is off.
+func passSpan(parent *obs.Span, pa *pass) *obs.Span {
+	if parent == nil {
+		return nil
+	}
+	sp := parent.Child(fmt.Sprintf("pass[L%d d%d]", pa.level, pa.dir))
+	sp.Add("lines", int64(pa.numLines))
+	sp.Add("points", int64(pa.numLines*pa.pointsPerLine))
+	return sp
+}
+
+// chunkSpan opens a per-work-chunk span under a pass span (nil-safe).
+// Chunk spans start when a worker picks the chunk up and end when it
+// finishes, so scheduling skew is directly visible in the span tree.
+func chunkSpan(passSp *obs.Span, chunk int) *obs.Span {
+	if passSp == nil {
+		return nil
+	}
+	return passSp.Child(fmt.Sprintf("chunk[%d]", chunk))
+}
+
 // compressPass runs one pass, in parallel when it is large enough.
 // Literals are gathered per chunk and concatenated in line order, so the
 // stream matches the sequential visit order exactly.
 func compressPass(data []float64, q []int32, pa *pass,
-	kind interp.Kind, quant quantizer.Linear, workers int, literals []float64) []float64 {
+	kind interp.Kind, quant quantizer.Linear, workers int, literals []float64,
+	obsParent *obs.Span) []float64 {
 
 	if workers <= 1 || pa.numLines < 2 || pa.numLines*pa.pointsPerLine < minParallelPoints {
 		for li := 0; li < pa.numLines; li++ {
@@ -142,19 +195,24 @@ func compressPass(data []float64, q []int32, pa *pass,
 		}
 		return literals
 	}
+	passSp := passSpan(obsParent, pa)
 	grain := passGrain(pa, workers)
 	lits := make([][]float64, parallel.Chunks(pa.numLines, grain))
 	parallel.ForEachChunked(pa.numLines, workers, grain, func(lo, hi int) {
+		csp := chunkSpan(passSp, lo/grain)
 		var buf []float64
 		for li := lo; li < hi; li++ {
 			base, _, _ := pa.line(li)
 			buf = compressLine(data, q, pa, base, kind, quant, buf)
 		}
 		lits[lo/grain] = buf
+		csp.Add("lines", int64(hi-lo))
+		csp.End()
 	})
 	for _, b := range lits {
 		literals = append(literals, b...)
 	}
+	passSp.End()
 	return literals
 }
 
@@ -236,7 +294,7 @@ func decompressLine(data []float64, enc []int32, pa *pass, base int,
 // independently.
 func decompressPass(data []float64, enc []int32, pa *pass,
 	kind interp.Kind, quant quantizer.Linear, workers int,
-	literals []float64, lit int, corrupt error) (int, error) {
+	literals []float64, lit int, corrupt error, obsParent *obs.Span) (int, error) {
 
 	if workers <= 1 || pa.numLines < 2 || pa.numLines*pa.pointsPerLine < minParallelPoints {
 		for li := 0; li < pa.numLines; li++ {
@@ -250,6 +308,7 @@ func decompressPass(data []float64, enc []int32, pa *pass,
 		return lit, nil
 	}
 
+	passSp := passSpan(obsParent, pa)
 	grain := passGrain(pa, workers)
 	counts := make([]int, parallel.Chunks(pa.numLines, grain))
 	s, n, dstr := pa.s, pa.n, pa.dstr
@@ -275,11 +334,15 @@ func decompressPass(data []float64, enc []int32, pa *pass,
 		return lit, fmt.Errorf("%w: literal stream exhausted", corrupt)
 	}
 	parallel.ForEachChunked(pa.numLines, workers, grain, func(lo, hi int) {
+		csp := chunkSpan(passSp, lo/grain)
 		pos := offs[lo/grain]
 		for li := lo; li < hi; li++ {
 			base, _, _ := pa.line(li)
 			pos, _ = decompressLine(data, enc, pa, base, kind, quant, literals, pos)
 		}
+		csp.Add("lines", int64(hi-lo))
+		csp.End()
 	})
+	passSp.End()
 	return cur, nil
 }

@@ -3,6 +3,7 @@ package sz3
 import (
 	"scdc/internal/core"
 	"scdc/internal/interp"
+	"scdc/internal/obs"
 	"scdc/internal/quantizer"
 )
 
@@ -30,7 +31,7 @@ func compressInterp(data []float64, dims []int, opts Options, quant quantizer.Li
 
 	spec := LevelSpec{Order: opts.DirOrder, Kind: opts.Interp, Quant: quant}
 	return CompressSchedule(data, dims, levels, opts.Workers,
-		func(int) LevelSpec { return spec }, q, qp, pred, literals)
+		func(int) LevelSpec { return spec }, q, qp, pred, literals, opts.Obs)
 }
 
 // decompressInterp reconstructs data from the (possibly QP-transformed)
@@ -38,7 +39,8 @@ func compressInterp(data []float64, dims []int, opts Options, quant quantizer.Li
 // overwritten in place with the recovered original symbols so that QP can
 // read previously recovered neighbors.
 func decompressInterp(data []float64, dims []int, kind interp.Kind, dirOrder []int,
-	quant quantizer.Linear, enc []int32, literals []float64, pred *core.Predictor, workers int) error {
+	quant quantizer.Linear, enc []int32, literals []float64, pred *core.Predictor,
+	workers int, sp *obs.Span) error {
 
 	levels := Levels(dims)
 	lit := 0
@@ -56,7 +58,7 @@ func decompressInterp(data []float64, dims []int, kind interp.Kind, dirOrder []i
 
 	spec := LevelSpec{Order: dirOrder, Kind: kind, Quant: quant}
 	return DecompressSchedule(data, dims, levels, workers,
-		func(int) LevelSpec { return spec }, enc, literals, lit, pred, ErrCorrupt)
+		func(int) LevelSpec { return spec }, enc, literals, lit, pred, ErrCorrupt, sp)
 }
 
 func errLiteralExhausted() error {

@@ -24,6 +24,7 @@ import (
 	"scdc/internal/huffman"
 	"scdc/internal/interp"
 	"scdc/internal/lossless"
+	"scdc/internal/obs"
 	"scdc/internal/quantizer"
 )
 
@@ -93,6 +94,11 @@ type Options struct {
 	Shards int
 	// Trace, when non-nil, captures internals for characterization.
 	Trace *Trace
+	// Obs, when non-nil, receives per-stage telemetry spans (choose,
+	// interp/lorenzo, qp, quantize, huffman, lossless). Nil disables
+	// observation at zero hot-path cost; the output stream is byte-
+	// identical either way.
+	Obs *obs.Span
 }
 
 // Trace captures compressor internals for the paper's characterization
@@ -188,9 +194,12 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	case ChoiceLorenzo:
 		mode = ModeLorenzo
 	case ChoiceAuto:
+		chSp := opts.Obs.Child("choose")
 		if chooseLorenzo(f, opts.ErrorBound, opts.Interp) {
 			mode = ModeLorenzo
 		}
+		chSp.Add("lorenzo", int64(mode))
+		chSp.End()
 	}
 
 	// Pooled scratch: the working copy and index arrays are recycled across
@@ -220,8 +229,17 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	if mode == ModeInterp {
 		literals = compressInterp(data, f.Dims(), opts, quant, q, qp, pred, levels)
 	} else {
+		loSp := opts.Obs.Child("lorenzo")
 		literals = compressLorenzo(data, f.Dims(), quant, q, qp, pred)
+		loSp.Add("points", int64(len(data)))
+		loSp.End()
 	}
+	// Quantization is fused into the prediction sweeps above, so the
+	// "quantize" span only carries its outcome counters.
+	quantSp := opts.Obs.Child("quantize")
+	quantSp.Add("points", int64(len(data)))
+	quantSp.Add("unpredictable", int64(len(literals)))
+	quantSp.End()
 
 	if opts.Trace != nil {
 		opts.Trace.Mode = mode
@@ -233,12 +251,14 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		}
 	}
 
+	encSp := opts.Obs.Child("huffman")
 	var huff []byte
 	if useQP && opts.ForceQP {
-		huff, _ = core.ChooseEncodingSharded(qp, nil, opts.Shards, opts.Workers)
+		huff, _ = core.ChooseEncodingObs(qp, nil, opts.Shards, opts.Workers, encSp)
 	} else {
-		huff, useQP = core.ChooseEncodingSharded(q, qp, opts.Shards, opts.Workers)
+		huff, useQP = core.ChooseEncodingObs(q, qp, opts.Shards, opts.Workers, encSp)
 	}
+	encSp.End()
 
 	hdr := make([]byte, 0, 64)
 	hdr = append(hdr, byte(mode), byte(opts.Interp), byte(len(opts.DirOrder)))
@@ -263,7 +283,12 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
 
-	return lossless.Compress(opts.Lossless, buf)
+	llSp := opts.Obs.Child("lossless")
+	out, err := lossless.Compress(opts.Lossless, buf)
+	llSp.Add("bytes_in", int64(len(buf)))
+	llSp.Add("bytes_out", int64(len(out)))
+	llSp.End()
+	return out, err
 }
 
 // Decompress reconstructs a field with the given dims from an SZ3 payload.
@@ -275,11 +300,21 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 // entropy decoding (for sharded streams) and interpolation passes. The
 // reconstruction is byte-identical for any worker count.
 func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, error) {
+	return DecompressObs(payload, dims, workers, nil)
+}
+
+// DecompressObs is DecompressWorkers with per-stage telemetry recorded on
+// sp (which may be nil). The reconstruction is identical either way.
+func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid.Field, error) {
 	n, err := grid.CheckDims(dims)
 	if err != nil {
 		return nil, err
 	}
+	llSp := sp.Child("lossless")
 	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
+	llSp.Add("bytes_in", int64(len(payload)))
+	llSp.Add("bytes_out", int64(len(buf)))
+	llSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -336,7 +371,11 @@ func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, er
 		return nil, fmt.Errorf("%w: bad huffman length", ErrCorrupt)
 	}
 	buf = buf[k:]
+	huffSp := sp.Child("huffman")
 	enc, err := huffman.DecodeParallel(buf[:hl], workers)
+	huffSp.Add("bytes_in", int64(hl))
+	huffSp.Add("symbols", int64(len(enc)))
+	huffSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -373,7 +412,7 @@ func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, er
 				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
 		}
-		if err := decompressInterp(out.Data, dims, kind, dirOrder, quant, enc, literals, pred, workers); err != nil {
+		if err := decompressInterp(out.Data, dims, kind, dirOrder, quant, enc, literals, pred, workers, sp); err != nil {
 			return nil, err
 		}
 	case ModeLorenzo:
@@ -384,7 +423,11 @@ func DecompressWorkers(payload []byte, dims []int, workers int) (*grid.Field, er
 				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
 		}
-		if err := decompressLorenzo(out.Data, dims, quant, enc, literals, pred); err != nil {
+		loSp := sp.Child("lorenzo")
+		err = decompressLorenzo(out.Data, dims, quant, enc, literals, pred)
+		loSp.Add("points", int64(n))
+		loSp.End()
+		if err != nil {
 			return nil, err
 		}
 	default:

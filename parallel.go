@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"scdc/internal/grid"
+	"scdc/internal/obs"
 	"scdc/internal/parallel"
 )
 
@@ -21,6 +22,16 @@ import (
 // is a fully independent stream, so a chunked container also supports
 // partial decompression by chunk.
 func CompressChunked(data []float64, dims []int, opts Options, workers, chunkExtent int) ([]byte, error) {
+	sp := opts.Observer.Span("compress_chunked")
+	out, err := compressChunkedSpan(data, dims, opts, workers, chunkExtent, sp)
+	sp.End()
+	return out, err
+}
+
+// compressChunkedSpan is the CompressChunked body with telemetry attached
+// to sp (which may be nil): one accumulating span per pool worker, one
+// wall-clock span per chunk nested under the worker that compressed it.
+func compressChunkedSpan(data []float64, dims []int, opts Options, workers, chunkExtent int, sp *obs.Span) ([]byte, error) {
 	f, err := grid.FromSlice(data, dims...)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
@@ -38,6 +49,7 @@ func CompressChunked(data []float64, dims []int, opts Options, workers, chunkExt
 	chunkOpts := opts
 	chunkOpts.ErrorBound = eb
 	chunkOpts.RelativeBound = 0
+	chunkOpts.Observer = nil // chunks record under sp, not a fresh top span
 
 	if workers <= 0 {
 		workers = 1
@@ -52,19 +64,41 @@ func CompressChunked(data []float64, dims []int, opts Options, workers, chunkExt
 	nChunks := (n0 + chunkExtent - 1) / chunkExtent
 	sliceLen := f.Len() / n0
 
+	// Per-worker accumulating spans are keyed on the pool's stable worker
+	// index (each index is owned by one goroutine, so lazy creation is
+	// race-free); every chunk additionally gets its own wall-clock span
+	// under the worker that compressed it.
+	var workerSpans []*obs.Span
+	if sp != nil {
+		workerSpans = make([]*obs.Span, workers)
+	}
 	type result struct {
 		stream []byte
 		err    error
 	}
-	results := parallel.Map(nChunks, workers, func(i int) result {
+	results := make([]result, nChunks)
+	parallel.ForEachWorker(nChunks, workers, func(w, i int) {
 		lo := i * chunkExtent
 		hi := lo + chunkExtent
 		if hi > n0 {
 			hi = n0
 		}
 		chunkDims := append([]int{hi - lo}, dims[1:]...)
-		stream, err := Compress(data[lo*sliceLen:hi*sliceLen], chunkDims, chunkOpts)
-		return result{stream, err}
+		var csp *obs.Span
+		if sp != nil {
+			if workerSpans[w] == nil {
+				workerSpans[w] = sp.ChildAccum(fmt.Sprintf("worker[%d]", w))
+			}
+			csp = workerSpans[w].Child(fmt.Sprintf("chunk[%d]", i))
+		}
+		t0 := csp.Begin()
+		stream, err := compressSpan(data[lo*sliceLen:hi*sliceLen], chunkDims, chunkOpts, csp)
+		if csp != nil {
+			csp.Add("bytes_out", int64(len(stream)))
+			csp.End()
+			workerSpans[w].AddSince(t0)
+		}
+		results[i] = result{stream, err}
 	})
 
 	// Container: magic, version, marker 0xFF (chunked), ndims, dims,
@@ -92,6 +126,13 @@ func CompressChunked(data []float64, dims []int, opts Options, workers, chunkExt
 // DecompressChunked reconstructs a field compressed with CompressChunked,
 // decompressing chunks on up to workers goroutines.
 func DecompressChunked(stream []byte, workers int) (*Result, error) {
+	return decompressChunkedSpan(stream, workers, nil)
+}
+
+// decompressChunkedSpan is the DecompressChunked body with telemetry
+// attached to sp (which may be nil), mirroring compressChunkedSpan's
+// per-worker and per-chunk span layout.
+func decompressChunkedSpan(stream []byte, workers int, sp *obs.Span) (*Result, error) {
 	dims, chunkExtent, chunks, err := parseChunked(stream)
 	if err != nil {
 		return nil, err
@@ -113,34 +154,60 @@ func DecompressChunked(stream []byte, workers int) (*Result, error) {
 	out := make([]float64, n)
 	var alg Algorithm
 
-	errs := parallel.Map(len(chunks), workers, func(i int) error {
-		res, err := Decompress(chunks[i])
-		if err != nil {
-			return fmt.Errorf("chunk %d: %w", i, err)
-		}
-		lo := i * chunkExtent
-		hi := lo + chunkExtent
-		if hi > dims[0] {
-			hi = dims[0]
-		}
-		// A corrupt (or hostile) chunk may decode to a different size than
-		// its slot; reject it before copy so it cannot bleed into — or leave
-		// stale zeros in — neighboring chunks' regions.
-		if len(res.Data) != (hi-lo)*sliceLen {
-			return fmt.Errorf("%w: chunk %d decodes to %d values, want %d",
-				ErrCorrupt, i, len(res.Data), (hi-lo)*sliceLen)
-		}
-		copy(out[lo*sliceLen:], res.Data)
-		if i == 0 {
-			alg = res.Algorithm
-		}
-		return nil
+	if workers <= 0 {
+		workers = 1
+	}
+	var workerSpans []*obs.Span
+	if sp != nil {
+		workerSpans = make([]*obs.Span, workers)
+	}
+	errs := make([]error, len(chunks))
+	parallel.ForEachWorker(len(chunks), workers, func(w, i int) {
+		errs[i] = func() error {
+			var csp *obs.Span
+			if sp != nil {
+				if workerSpans[w] == nil {
+					workerSpans[w] = sp.ChildAccum(fmt.Sprintf("worker[%d]", w))
+				}
+				csp = workerSpans[w].Child(fmt.Sprintf("chunk[%d]", i))
+			}
+			t0 := csp.Begin()
+			res, err := decompressSpan(chunks[i], 1, csp)
+			if csp != nil {
+				csp.Add("bytes_in", int64(len(chunks[i])))
+				csp.End()
+				workerSpans[w].AddSince(t0)
+			}
+			if err != nil {
+				return fmt.Errorf("chunk %d: %w", i, err)
+			}
+			lo := i * chunkExtent
+			hi := lo + chunkExtent
+			if hi > dims[0] {
+				hi = dims[0]
+			}
+			// A corrupt (or hostile) chunk may decode to a different size than
+			// its slot; reject it before copy so it cannot bleed into — or leave
+			// stale zeros in — neighboring chunks' regions.
+			if len(res.Data) != (hi-lo)*sliceLen {
+				return fmt.Errorf("%w: chunk %d decodes to %d values, want %d",
+					ErrCorrupt, i, len(res.Data), (hi-lo)*sliceLen)
+			}
+			copy(out[lo*sliceLen:], res.Data)
+			if i == 0 {
+				alg = res.Algorithm
+			}
+			return nil
+		}()
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	sp.Add("chunks", int64(len(chunks)))
+	sp.Add("raw_bytes", int64(n*8))
+	sp.Add("stream_bytes", int64(len(stream)))
 	return &Result{Data: out, Dims: dims, Algorithm: alg}, nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"scdc/internal/grid"
 	"scdc/internal/hpez"
 	"scdc/internal/mgard"
+	"scdc/internal/obs"
 	"scdc/internal/qoz"
 	"scdc/internal/sperr"
 	"scdc/internal/sz3"
@@ -166,6 +167,12 @@ type Options struct {
 	// out entropy decoding. <= 1 keeps the legacy single-body stream, which
 	// any earlier reader also understands.
 	Shards int
+	// Observer, when non-nil, collects per-stage telemetry spans for every
+	// Compress/CompressChunked call made with these options (see
+	// CompressWithStats for the one-shot form). Nil disables observation at
+	// zero hot-path cost. The produced stream is byte-identical with
+	// observation on or off.
+	Observer *obs.Recorder
 }
 
 // Result is a decompressed field.
@@ -176,6 +183,9 @@ type Result struct {
 	Dims []int
 	// Algorithm is the compressor that produced the stream.
 	Algorithm Algorithm
+	// Stats carries per-stage telemetry when the stream was decompressed
+	// through DecompressObserved/DecompressChunkedObserved; nil otherwise.
+	Stats *CompressStats
 }
 
 // Float32 converts the samples to float32.
@@ -253,6 +263,16 @@ const maxPointsPerByte = 1 << 17
 // Compress compresses a row-major field with the given dims (1 to 4
 // dimensions, first dim slowest).
 func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
+	sp := opts.Observer.Span("compress")
+	out, err := compressSpan(data, dims, opts, sp)
+	sp.End()
+	return out, err
+}
+
+// compressSpan is the Compress body with telemetry attached to sp (which
+// may be nil). CompressChunked reuses it so each chunk records under its
+// own span instead of opening a top-level one per chunk.
+func compressSpan(data []float64, dims []int, opts Options, sp *obs.Span) ([]byte, error) {
 	f, err := grid.FromSlice(data, dims...)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
@@ -274,28 +294,38 @@ func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
 		o := sz3.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
+		o.Obs = sp
 		payload, err = sz3.Compress(f, o)
 	case QoZ:
 		o := qoz.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
+		o.Obs = sp
 		payload, err = qoz.Compress(f, o)
 	case HPEZ:
 		o := hpez.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
+		o.Obs = sp
 		payload, err = hpez.Compress(f, o)
 	case MGARD:
 		o := mgard.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
+		o.Obs = sp
 		payload, err = mgard.Compress(f, o)
 	case ZFP:
+		esp := sp.Child("transform")
 		payload, err = zfp.Compress(f, zfp.Options{Tolerance: eb})
+		esp.End()
 	case TTHRESH:
+		esp := sp.Child("transform")
 		payload, err = tthresh.Compress(f, tthresh.DefaultOptions(eb))
+		esp.End()
 	case SPERR:
+		esp := sp.Child("transform")
 		payload, err = sperr.Compress(f, sperr.DefaultOptions(eb))
+		esp.End()
 	}
 	if err != nil {
 		return nil, err
@@ -307,7 +337,10 @@ func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
 	for _, d := range dims {
 		hdr = binary.AppendUvarint(hdr, uint64(d))
 	}
-	return appendFooter(append(hdr, payload...)), nil
+	out := appendFooter(append(hdr, payload...))
+	sp.Add("raw_bytes", int64(len(data)*8))
+	sp.Add("stream_bytes", int64(len(out)))
+	return out, nil
 }
 
 // CompressFloat32 is Compress for single-precision input.
@@ -329,6 +362,12 @@ func Decompress(stream []byte) (*Result, error) {
 // interpolation-based algorithms. The reconstruction is byte-identical for
 // any worker count; workers <= 1 decompresses sequentially.
 func DecompressParallel(stream []byte, workers int) (*Result, error) {
+	return decompressSpan(stream, workers, nil)
+}
+
+// decompressSpan is the DecompressParallel body with telemetry attached to
+// sp (which may be nil).
+func decompressSpan(stream []byte, workers int, sp *obs.Span) (*Result, error) {
 	if len(stream) < 7 || stream[0] != magic[0] || stream[1] != magic[1] ||
 		stream[2] != magic[2] || stream[3] != magic[3] {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
@@ -374,23 +413,31 @@ func DecompressParallel(stream []byte, workers int) (*Result, error) {
 	var f *grid.Field
 	switch alg {
 	case SZ3:
-		f, err = sz3.DecompressWorkers(buf, dims, workers)
+		f, err = sz3.DecompressObs(buf, dims, workers, sp)
 	case QoZ:
-		f, err = qoz.DecompressWorkers(buf, dims, workers)
+		f, err = qoz.DecompressObs(buf, dims, workers, sp)
 	case HPEZ:
-		f, err = hpez.DecompressWorkers(buf, dims, workers)
+		f, err = hpez.DecompressObs(buf, dims, workers, sp)
 	case MGARD:
-		f, err = mgard.DecompressWorkers(buf, dims, workers)
+		f, err = mgard.DecompressObs(buf, dims, workers, sp)
 	case ZFP:
+		dsp := sp.Child("transform")
 		f, err = zfp.Decompress(buf, dims)
+		dsp.End()
 	case TTHRESH:
+		dsp := sp.Child("transform")
 		f, err = tthresh.Decompress(buf, dims)
+		dsp.End()
 	case SPERR:
+		dsp := sp.Child("transform")
 		f, err = sperr.Decompress(buf, dims)
+		dsp.End()
 	}
 	if err != nil {
 		return nil, err
 	}
+	sp.Add("stream_bytes", int64(len(stream)))
+	sp.Add("raw_bytes", int64(len(f.Data)*8))
 	return &Result{Data: f.Data, Dims: dims, Algorithm: alg}, nil
 }
 

@@ -1,0 +1,77 @@
+#!/bin/sh
+# bench_json_pr3.sh STATS_JSON RAW_OUTPUT > BENCH_pr3.json
+#
+# Assembles the observability PR's benchmark snapshot from three inputs
+# captured by `make bench-pr3`:
+#   $1  scdc-stats/1 JSON written by `scdc -z ... -stats` (per-stage ns)
+#   $2  raw text holding the BenchmarkObserverOverhead output and the
+#       TestNilFastPathZeroAllocs -v run (the AllocsPerRun guard)
+set -eu
+stats=$1
+raw=$2
+
+cpu=$(sed -n 's/^cpu: //p' "$raw" | head -1)
+gover=$(go version | awk '{print $3 " " $4}')
+ncpu=$(nproc 2>/dev/null || echo unknown)
+
+summary=$(awk -F'"' '/"op"|"algorithm"|"schema"/ {print $4}' "$stats" | paste -sd' ' -)
+ratio=$(sed -n 's/^  "ratio": \([0-9.]*\),*$/\1/p' "$stats")
+bpv=$(sed -n 's/^  "bits_per_value": \([0-9.]*\),*$/\1/p' "$stats")
+
+guard=fail
+grep -q -- '--- PASS: TestNilFastPathZeroAllocs' "$raw" && guard=pass
+
+cat <<EOF
+{
+  "description": "Per-stage timing snapshot for the pipeline telemetry PR. Stages come from the scdc-stats/1 report of 'scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp -stats' (rel 1e-3 keeps SZ3 in interpolation mode so all five stages appear). Overhead rows compare Compress with and without an attached obs.Recorder.",
+  "machine": {
+    "cpu": "$cpu",
+    "cpus_online": $ncpu,
+    "go": "$gover",
+    "date": "$(date +%Y-%m-%d)"
+  },
+  "command": "make bench-pr3",
+  "run": {
+    "stats": "$summary",
+    "ratio": ${ratio:-0},
+    "bits_per_value": ${bpv:-0}
+  },
+  "stage_ns": {
+EOF
+
+# Top-level report fields sit at 4-space indent, direct children of the
+# root span at 8 spaces, grandchildren deeper — so matching exactly 8
+# leading spaces yields the pipeline stages (choose, interp, qp,
+# quantize, huffman, lossless) without any nested pass/chunk spans.
+awk '
+/^        "name": / { split($0, a, "\""); name = a[4]; next }
+/^        "ns": /   {
+    ns = $2; sub(/,$/, "", ns)
+    line = sprintf("    \"%s\": %s", name, ns)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$stats"
+
+cat <<EOF
+  },
+  "observer_overhead": {
+EOF
+
+awk '/^BenchmarkObserverOverhead/ {
+    name = $1; sub(/^BenchmarkObserverOverhead\//, "", name); sub(/-[0-9]+$/, "", name)
+    line = sprintf("    \"%s\": {\"ns_op\": %s, \"mb_s\": %s, \"bytes_op\": %s, \"allocs_op\": %s}", \
+        name, $3, $5, $7, $9)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$raw"
+
+cat <<EOF
+  },
+  "nil_observer_guard": {
+    "test": "internal/obs TestNilFastPathZeroAllocs (testing.AllocsPerRun over the disabled-path Span/Child/Add/Begin calls)",
+    "result": "$guard"
+  }
+}
+EOF

@@ -1,0 +1,120 @@
+package scdc
+
+import (
+	"scdc/internal/obs"
+)
+
+// StatsSchema identifies the JSON wire schema of CompressStats. The
+// structural keys (schema, op, algorithm, dims, points, raw_bytes,
+// stream_bytes, ratio, bits_per_value, report) and the report node keys
+// (name, ns, counters, gauges, children) are stable; new counters and
+// gauges may appear over time without a schema bump (DESIGN.md §9).
+const StatsSchema = "scdc-stats/1"
+
+// CompressStats summarizes one observed compression or decompression:
+// the stream-level ratios plus the full per-stage telemetry report. It
+// marshals to the stable StatsSchema JSON layout.
+type CompressStats struct {
+	// Schema is always StatsSchema.
+	Schema string `json:"schema"`
+	// Op is "compress", "compress_chunked", "decompress" or
+	// "decompress_chunked".
+	Op string `json:"op"`
+	// Algorithm is the compressor name (Algorithm.String()).
+	Algorithm string `json:"algorithm"`
+	// Dims are the field extents.
+	Dims []int `json:"dims"`
+	// Points is the number of samples.
+	Points int `json:"points"`
+	// RawBytes is the uncompressed size (8 bytes per sample).
+	RawBytes int64 `json:"raw_bytes"`
+	// StreamBytes is the container size including headers and footers.
+	StreamBytes int64 `json:"stream_bytes"`
+	// Ratio is RawBytes / StreamBytes.
+	Ratio float64 `json:"ratio"`
+	// BitsPerValue is the bit rate: 8 * StreamBytes / Points.
+	BitsPerValue float64 `json:"bits_per_value"`
+	// Report is the span tree recorded during the operation.
+	Report *obs.Report `json:"report"`
+}
+
+// newStats assembles a CompressStats from an operation's geometry and its
+// recorded report.
+func newStats(op string, alg Algorithm, dims []int, points, streamBytes int, rep *obs.Report) *CompressStats {
+	s := &CompressStats{
+		Schema:      StatsSchema,
+		Op:          op,
+		Algorithm:   alg.String(),
+		Dims:        dims,
+		Points:      points,
+		RawBytes:    int64(points) * 8,
+		StreamBytes: int64(streamBytes),
+		Report:      rep,
+	}
+	if streamBytes > 0 {
+		s.Ratio = float64(s.RawBytes) / float64(s.StreamBytes)
+	}
+	if points > 0 {
+		s.BitsPerValue = 8 * float64(streamBytes) / float64(points)
+	}
+	return s
+}
+
+// CompressWithStats is Compress plus a telemetry summary of the call: the
+// per-stage span tree, compression ratio and bit rate. The stream is
+// byte-identical to an unobserved Compress. When opts.Observer is nil a
+// private recorder is used; a caller-supplied recorder also accumulates
+// the spans.
+func CompressWithStats(data []float64, dims []int, opts Options) ([]byte, *CompressStats, error) {
+	if opts.Observer == nil {
+		opts.Observer = obs.New()
+	}
+	stream, err := Compress(data, dims, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stream, newStats("compress", opts.Algorithm, dims, len(data), len(stream), opts.Observer.Report()), nil
+}
+
+// CompressChunkedWithStats is CompressChunked plus a telemetry summary,
+// including one span per pool worker and one per chunk.
+func CompressChunkedWithStats(data []float64, dims []int, opts Options, workers, chunkExtent int) ([]byte, *CompressStats, error) {
+	if opts.Observer == nil {
+		opts.Observer = obs.New()
+	}
+	stream, err := CompressChunked(data, dims, opts, workers, chunkExtent)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stream, newStats("compress_chunked", opts.Algorithm, dims, len(data), len(stream), opts.Observer.Report()), nil
+}
+
+// DecompressObserved is DecompressParallel with telemetry: the returned
+// Result carries per-stage stats in Result.Stats. The reconstruction is
+// identical to an unobserved decompress.
+func DecompressObserved(stream []byte, workers int) (*Result, error) {
+	rec := obs.New()
+	sp := rec.Span("decompress")
+	res, err := decompressSpan(stream, workers, sp)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = newStats("decompress", res.Algorithm, res.Dims, len(res.Data), len(stream), rec.Report())
+	return res, nil
+}
+
+// DecompressChunkedObserved is DecompressChunked with telemetry: the
+// returned Result carries per-stage stats, including one span per pool
+// worker and one per chunk, in Result.Stats.
+func DecompressChunkedObserved(stream []byte, workers int) (*Result, error) {
+	rec := obs.New()
+	sp := rec.Span("decompress_chunked")
+	res, err := decompressChunkedSpan(stream, workers, sp)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = newStats("decompress_chunked", res.Algorithm, res.Dims, len(res.Data), len(stream), rec.Report())
+	return res, nil
+}

@@ -1,0 +1,274 @@
+package scdc
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"scdc/internal/obs"
+)
+
+func statsTestField(n0, n1, n2 int) ([]float64, []int) {
+	dims := []int{n0, n1, n2}
+	data := make([]float64, n0*n1*n2)
+	for i := range data {
+		x := float64(i%n2) / float64(n2)
+		y := float64((i/n2)%n1) / float64(n1)
+		z := float64(i/(n1*n2)) / float64(n0)
+		data[i] = math.Sin(7*x)*math.Cos(5*y) + 0.5*z*z
+	}
+	return data, dims
+}
+
+// TestObserverByteIdentity pins the core contract: observation never
+// changes the produced stream, for every algorithm and for the chunked
+// container.
+func TestObserverByteIdentity(t *testing.T) {
+	data, dims := statsTestField(16, 20, 24)
+	for alg := SZ3; alg < numAlgorithms; alg++ {
+		opts := Options{Algorithm: alg, ErrorBound: 1e-3, Workers: 3, Shards: 2}
+		if alg.SupportsQP() {
+			opts.QP = DefaultQP()
+		}
+		plain, err := Compress(data, dims, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		opts.Observer = obs.New()
+		observed, err := Compress(data, dims, opts)
+		if err != nil {
+			t.Fatalf("%v observed: %v", alg, err)
+		}
+		if !bytes.Equal(plain, observed) {
+			t.Errorf("%v: observed stream differs from plain stream", alg)
+		}
+	}
+
+	opts := Options{Algorithm: SZ3, ErrorBound: 1e-3, QP: DefaultQP()}
+	plain, err := CompressChunked(data, dims, opts, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Observer = obs.New()
+	observed, err := CompressChunked(data, dims, opts, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, observed) {
+		t.Error("chunked: observed stream differs from plain stream")
+	}
+}
+
+// TestCompressWithStatsStages checks the documented span taxonomy: an
+// observed SZ3+QP compression reports the five named pipeline stages and
+// a self-consistent summary.
+func TestCompressWithStatsStages(t *testing.T) {
+	data, dims := statsTestField(16, 20, 24)
+	// 1e-2 keeps SZ3 in interpolation mode for this field; smaller bounds
+	// switch to Lorenzo, which has no interp/qp spans.
+	stream, stats, err := CompressWithStats(data, dims, Options{
+		Algorithm: SZ3, ErrorBound: 1e-2, QP: DefaultQP(), Workers: 2, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Schema != StatsSchema {
+		t.Errorf("schema %q, want %q", stats.Schema, StatsSchema)
+	}
+	if stats.Points != len(data) || stats.StreamBytes != int64(len(stream)) {
+		t.Errorf("summary geometry mismatch: %+v", stats)
+	}
+	wantRatio := float64(8*len(data)) / float64(len(stream))
+	if math.Abs(stats.Ratio-wantRatio) > 1e-9 {
+		t.Errorf("ratio %v, want %v", stats.Ratio, wantRatio)
+	}
+	wantBPV := 8 * float64(len(stream)) / float64(len(data))
+	if math.Abs(stats.BitsPerValue-wantBPV) > 1e-9 {
+		t.Errorf("bits/value %v, want %v", stats.BitsPerValue, wantBPV)
+	}
+	for _, stage := range []string{"interp", "quantize", "qp", "huffman", "lossless"} {
+		if stats.Report.Find(stage) == nil {
+			t.Errorf("stage %q missing from report", stage)
+		}
+	}
+	if got := stats.Report.Counter("quantize", "points"); got != int64(len(data)) {
+		t.Errorf("quantize points = %d, want %d", got, len(data))
+	}
+	if stats.Report.Counter("huffman", "bytes_out") == 0 {
+		t.Error("huffman bytes_out missing")
+	}
+
+	// The report must round-trip through its stable JSON schema.
+	blob, err := json.Marshal(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"schema"`, `"op"`, `"algorithm"`, `"dims"`, `"points"`,
+		`"raw_bytes"`, `"stream_bytes"`, `"ratio"`, `"bits_per_value"`, `"report"`, `"ns"`} {
+		if !bytes.Contains(blob, []byte(key)) {
+			t.Errorf("JSON missing key %s", key)
+		}
+	}
+	var back CompressStats
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Report.Find("huffman") == nil {
+		t.Error("report lost huffman stage in JSON round-trip")
+	}
+}
+
+// TestIntraFieldChunkSpans checks that a plain (non-chunked) parallel
+// compression exposes per-pass and per-chunk spans from the engine.
+func TestIntraFieldChunkSpans(t *testing.T) {
+	data, dims := statsTestField(32, 32, 32)
+	_, stats, err := CompressWithStats(data, dims, Options{
+		Algorithm: SZ3, ErrorBound: 1e-3, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp := stats.Report.Find("interp")
+	if interp == nil {
+		t.Fatal("no interp span")
+	}
+	var pass, chunk bool
+	var walk func(r *obs.Report)
+	walk = func(r *obs.Report) {
+		if len(r.Name) >= 5 && r.Name[:5] == "pass[" {
+			pass = true
+		}
+		if len(r.Name) >= 6 && r.Name[:6] == "chunk[" {
+			chunk = true
+		}
+		for _, c := range r.Children {
+			walk(c)
+		}
+	}
+	walk(stats.Report)
+	if !pass || !chunk {
+		t.Errorf("want pass[...] and chunk[...] spans under workers>1, got pass=%v chunk=%v", pass, chunk)
+	}
+}
+
+// TestChunkedWorkerSpans checks the chunked container's per-worker and
+// per-chunk span layout on both directions.
+func TestChunkedWorkerSpans(t *testing.T) {
+	data, dims := statsTestField(16, 20, 24)
+	opts := Options{Algorithm: SZ3, ErrorBound: 1e-3, QP: DefaultQP()}
+	stream, stats, err := CompressChunkedWithStats(data, dims, opts, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Op != "compress_chunked" {
+		t.Errorf("op %q", stats.Op)
+	}
+	countSpans := func(rep *obs.Report) (workers, chunks int) {
+		var walk func(r *obs.Report)
+		walk = func(r *obs.Report) {
+			if len(r.Name) >= 7 && r.Name[:7] == "worker[" {
+				workers++
+			}
+			if len(r.Name) >= 6 && r.Name[:6] == "chunk[" {
+				chunks++
+			}
+			for _, c := range r.Children {
+				walk(c)
+			}
+		}
+		walk(rep)
+		return workers, chunks
+	}
+	nChunks := (dims[0] + 3) / 4
+	if w, c := countSpans(stats.Report); w == 0 || w > 3 || c != nChunks {
+		t.Errorf("compress: %d worker spans (want 1..3), %d chunk spans (want %d)", w, c, nChunks)
+	}
+
+	res, err := DecompressChunkedObserved(stream, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil || res.Stats.Op != "decompress_chunked" {
+		t.Fatalf("missing decompress stats: %+v", res.Stats)
+	}
+	if w, c := countSpans(res.Stats.Report); w == 0 || w > 3 || c != nChunks {
+		t.Errorf("decompress: %d worker spans (want 1..3), %d chunk spans (want %d)", w, c, nChunks)
+	}
+	if res.Stats.Report.Counter("decompress_chunked", "chunks") != int64(nChunks) {
+		t.Errorf("chunks counter = %d, want %d",
+			res.Stats.Report.Counter("decompress_chunked", "chunks"), nChunks)
+	}
+
+	// Observed and plain decompression must agree exactly.
+	plain, err := DecompressChunked(stream, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Data {
+		if plain.Data[i] != res.Data[i] {
+			t.Fatalf("observed decompression diverges at %d", i)
+		}
+	}
+}
+
+// TestDecompressObservedStages checks the single-stream decompress span
+// taxonomy.
+func TestDecompressObservedStages(t *testing.T) {
+	data, dims := statsTestField(16, 20, 24)
+	// 1e-2 keeps SZ3 in interpolation mode (see TestCompressWithStatsStages).
+	stream, err := Compress(data, dims, Options{Algorithm: SZ3, ErrorBound: 1e-2, QP: DefaultQP(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DecompressObserved(stream, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats == nil {
+		t.Fatal("no stats on observed decompress")
+	}
+	for _, stage := range []string{"lossless", "huffman", "qp", "interp"} {
+		if res.Stats.Report.Find(stage) == nil {
+			t.Errorf("stage %q missing from decompress report", stage)
+		}
+	}
+	plain, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Data {
+		if plain.Data[i] != res.Data[i] {
+			t.Fatalf("observed decompression diverges at %d", i)
+		}
+	}
+}
+
+// BenchmarkObserverOverhead measures the cost of running the same
+// compression with and without an attached Recorder. The nil path's
+// zero-allocation property is pinned separately by
+// internal/obs.TestNilFastPathZeroAllocs; this benchmark bounds the
+// wall-clock delta when observation is actually on.
+func BenchmarkObserverOverhead(b *testing.B) {
+	data, dims := statsTestField(32, 32, 32)
+	for _, observed := range []bool{false, true} {
+		name := "observer=off"
+		if observed {
+			name = "observer=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := Options{Algorithm: SZ3, ErrorBound: 1e-2, QP: DefaultQP()}
+			if observed {
+				opts.Observer = obs.New()
+			}
+			b.SetBytes(int64(8 * len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compress(data, dims, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
