@@ -1,9 +1,9 @@
 # Build, test and benchmark entry points.
 #
-# `make check` is the tier-1 gate: full build + tests, go vet, a -race
-# pass over the concurrency-bearing packages (the parallel engine, the
-# sharded entropy coder, and the chunked/parallel facade tests), and a
-# short fuzz pass over every decoder-facing fuzz target.
+# `make check` is the tier-1 gate: full build + tests, go vet, the
+# project static-analysis suite (scdclint + gofmt), a -race pass over
+# every package, and a short fuzz pass over every decoder-facing fuzz
+# target.
 # `make bench` snapshots the hot-path benchmarks into
 # results/BENCH_pr1.json (before-numbers are the recorded seed baseline)
 # and the per-stage telemetry snapshot into results/BENCH_pr3.json
@@ -12,7 +12,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race check bench bench-pr3 fuzz-smoke cover
+.PHONY: all build test vet lint lint-fixtures race check bench bench-pr3 fuzz-smoke cover
 
 all: check
 
@@ -25,8 +25,23 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Project-specific invariants (DESIGN.md §10): scdclint's five analyzers
+# over the codec packages, plus a gofmt cleanliness check.
+lint:
+	$(GO) run ./cmd/scdclint
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+	    echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Self-test guard: every analyzer must report at least one diagnostic on
+# its own positive fixtures, so a silently broken analyzer fails the
+# build instead of quietly passing everything.
+lint-fixtures:
+	$(GO) run ./cmd/scdclint -fixtures
+
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/sz3/ ./internal/huffman/ .
+	$(GO) test -race ./...
 
 # go test -fuzz accepts only one target per invocation, so each gets its
 # own short run. Any crasher fails the make.
@@ -45,7 +60,7 @@ fuzz-smoke:
 cover:
 	$(GO) test -cover ./...
 
-check: build test vet race fuzz-smoke
+check: build test vet lint lint-fixtures race fuzz-smoke
 
 bench: bench-pr3
 	@mkdir -p results

@@ -1,0 +1,153 @@
+// Package alloccap enforces the hostile-header allocation discipline of
+// PR 2: inside a decoder-facing function, a make() whose length derives
+// from decoded input (a header field, a varint, a count) must be
+// dominated by a comparison that bounds that value. A lying length field
+// must fail validation *before* it drives an allocation, never after.
+//
+// The check is a syntactic dominance approximation suited to this
+// codebase's linear decode functions: for every make with a non-constant
+// length, at least one variable feeding the length must appear in a
+// comparison (==, !=, <, <=, >, >=) positioned earlier in the same
+// function. Lengths built only from len/cap/min/max of existing values
+// are intrinsically bounded and exempt. Intentional exceptions carry a
+// scdclint:ignore comment naming the reason the value is already safe.
+package alloccap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"scdc/internal/analysis"
+)
+
+// Analyzer is the alloccap analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "alloccap",
+	Doc: "decode-path make() lengths derived from stream data must be " +
+		"bounded by a prior comparison (hostile-header invariant, PR 2)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.DecodeFuncRx.MatchString(fn.Name.Name) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	// Every variable mentioned in a comparison, with the comparison's
+	// position. Loop conditions count too; this is a deliberate
+	// approximation (see package doc).
+	compared := make(map[types.Object][]token.Pos)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparison(be.Op) {
+			return true
+		}
+		for _, obj := range varsIn(pass, be) {
+			compared[obj] = append(compared[obj], be.Pos())
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "make") || len(call.Args) < 2 {
+			return true
+		}
+		lenArg := call.Args[1]
+		if tv, ok := pass.Info.Types[lenArg]; ok && tv.Value != nil {
+			return true // constant length
+		}
+		suspects := suspectVars(pass, lenArg)
+		if len(suspects) == 0 {
+			return true // built only from len/cap/min/max or constants
+		}
+		for _, obj := range suspects {
+			for _, pos := range compared[obj] {
+				if pos < call.Pos() {
+					return true // bounded earlier
+				}
+			}
+		}
+		names := make([]string, len(suspects))
+		for i, obj := range suspects {
+			names[i] = obj.Name()
+		}
+		sort.Strings(names)
+		pass.Reportf(call.Pos(),
+			"make length derives from %s with no dominating bound check in %s: validate decoded sizes against a limit before allocating",
+			strings.Join(names, ", "), fn.Name.Name)
+		return true
+	})
+}
+
+// suspectVars collects the variables a length expression depends on,
+// skipping subtrees under len/cap/min/max builtins (intrinsically
+// bounded) and conversions' type names.
+func suspectVars(pass *analysis.Pass, e ast.Expr) []types.Object {
+	seen := make(map[types.Object]bool)
+	var out []types.Object
+	var walk func(ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "len") || isBuiltin(pass, n.Fun, "cap") ||
+				isBuiltin(pass, n.Fun, "min") || isBuiltin(pass, n.Fun, "max") {
+				return false
+			}
+			return true
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[n].(*types.Var); ok && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return true
+	}
+	ast.Inspect(e, walk)
+	return out
+}
+
+// varsIn collects the variables mentioned anywhere in an expression.
+func varsIn(pass *analysis.Pass, e ast.Expr) []types.Object {
+	seen := make(map[types.Object]bool)
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := pass.Info.Uses[id].(*types.Builtin)
+	return isB
+}

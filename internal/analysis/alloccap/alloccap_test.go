@@ -1,0 +1,15 @@
+package alloccap_test
+
+import (
+	"testing"
+
+	"scdc/internal/analysis/alloccap"
+	"scdc/internal/analysis/analysistest"
+)
+
+func TestAllocCap(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", alloccap.Analyzer, "a")
+	if len(diags) != 1 {
+		t.Errorf("got %d diagnostics, want 1", len(diags))
+	}
+}

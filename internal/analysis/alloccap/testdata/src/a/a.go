@@ -1,0 +1,52 @@
+// Package a is the alloccap fixture: decode-path allocations sized from
+// stream data, with and without a dominating bound check.
+package a
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errCorrupt = errors.New("a: corrupt")
+
+const maxDims = 16
+
+// decodeDims trusts the varint count: a lying header drives the make.
+func decodeDims(data []byte) ([]int, error) {
+	nd64, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, errCorrupt
+	}
+	nd := int(nd64)
+	dims := make([]int, nd) // want "no dominating bound check"
+	for i := range dims {
+		dims[i] = i
+	}
+	return dims, nil
+}
+
+// decodeDimsBounded validates the count before allocating.
+func decodeDimsBounded(data []byte) ([]int, error) {
+	nd64, k := binary.Uvarint(data)
+	if k <= 0 || nd64 > maxDims {
+		return nil, errCorrupt
+	}
+	dims := make([]int, int(nd64))
+	for i := range dims {
+		dims[i] = i
+	}
+	return dims, nil
+}
+
+// decodeBody sizes the copy from data already in hand: intrinsically
+// bounded, no check required.
+func decodeBody(src []byte) []byte {
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out
+}
+
+// BuildTable is not decoder-facing; its caller controls n.
+func BuildTable(n int) []int {
+	return make([]int, n)
+}

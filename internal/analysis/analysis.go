@@ -1,0 +1,153 @@
+// Package analysis is a dependency-free miniature of the golang.org/x/tools
+// go/analysis framework: just enough Analyzer/Pass machinery to write
+// project-specific static checkers over parsed and type-checked packages.
+//
+// The real x/tools module is deliberately not vendored — the repository
+// builds offline with the standard library only — so scdclint (cmd/scdclint)
+// drives these analyzers through this package instead of the multichecker.
+// The API mirrors go/analysis closely (Analyzer with a Run func over a Pass
+// that reports diagnostics) so the suite can migrate to x/tools mechanically
+// if the dependency ever becomes available.
+//
+// Diagnostics can be suppressed, one line at a time, with a comment on the
+// flagged line or the line above it:
+//
+//	//scdclint:ignore <analyzer-name> -- reason
+//	//scdclint:ignore all -- reason
+//
+// Suppressions are an escape hatch for intentional violations; the reason
+// text is mandatory by convention (the linter does not parse it, reviewers
+// do).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"scdc/internal/analysis/load"
+)
+
+// Analyzer is one static check. Name identifies it in output and in
+// scdclint:ignore comments; Doc is the one-paragraph invariant description
+// shown by `scdclint -help`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// String formats the diagnostic in the conventional file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package: its syntax, type
+// information and a diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.Info.TypeOf(e); t != nil {
+		return t
+	}
+	return nil
+}
+
+// Inspect walks every file of the package in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Run executes the analyzer over one loaded package and returns its
+// diagnostics with scdclint:ignore suppressions applied, sorted by
+// position.
+func Run(pkg *load.Package, a *Analyzer) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	diags := suppress(pkg, a.Name, pass.diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// suppress drops diagnostics whose line (or the line above) carries a
+// matching scdclint:ignore comment.
+func suppress(pkg *load.Package, name string, diags []Diagnostic) []Diagnostic {
+	ignored := make(map[string]map[int]bool) // filename -> lines with a matching ignore
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "scdclint:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "scdclint:ignore"))
+				target, _, _ := strings.Cut(rest, " ")
+				if target != name && target != "all" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if ignored[pos.Filename] == nil {
+					ignored[pos.Filename] = make(map[int]bool)
+				}
+				ignored[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		lines := ignored[d.Pos.Filename]
+		if lines != nil && (lines[d.Pos.Line] || lines[d.Pos.Line-1]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

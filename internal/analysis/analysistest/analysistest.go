@@ -1,0 +1,144 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want "regexp" comments, mirroring the
+// golang.org/x/tools analysistest convention on top of the local
+// dependency-free framework.
+//
+// Fixtures live under <analyzer>/testdata/src/<pkg>/. A fixture line that
+// must be flagged carries a trailing comment:
+//
+//	m := make(map[int]int)
+//	for k := range m { // want "iteration over map"
+//	}
+//
+// Several expectations on one line are written as several quoted regexps.
+// Every diagnostic must be wanted and every want must be matched; either
+// mismatch fails the test.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"scdc/internal/analysis"
+	"scdc/internal/analysis/load"
+)
+
+// Run loads each fixture package beneath root (a testdata/src directory)
+// and checks the analyzer's diagnostics against the // want comments.
+// It returns the diagnostics for optional further assertions.
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
+	t.Helper()
+	loader := load.NewLoader()
+	loader.FixtureRoot = root
+	var all []analysis.Diagnostic
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.LoadDir(filepath.Join(root, filepath.FromSlash(pkgPath)), pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		diags, err := analysis.Run(pkg, a)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		all = append(all, diags...)
+		checkWants(t, pkg, a.Name, diags)
+	}
+	return all
+}
+
+type want struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// checkWants compares diagnostics with the fixture's // want comments.
+func checkWants(t *testing.T, pkg *load.Package, name string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, rx := range parseWantRegexps(t, pos, rest) {
+					key := wantKey(pos)
+					wants[key] = append(wants[key], &want{rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := wantKey(d.Pos)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.rx)
+			}
+		}
+	}
+}
+
+func wantKey(pos token.Position) string {
+	return filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+}
+
+// parseWantRegexps parses a sequence of quoted or backquoted regexps.
+func parseWantRegexps(t *testing.T, pos token.Position, s string) []*regexp.Regexp {
+	t.Helper()
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s: malformed want comment near %q", pos, s)
+		}
+		lit, rest, err := cutQuoted(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment: %v", pos, err)
+		}
+		rx, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+		}
+		out = append(out, rx)
+		s = rest
+	}
+}
+
+// cutQuoted splits off one leading Go string literal.
+func cutQuoted(s string) (lit, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && quote == '"' {
+			i++
+			continue
+		}
+		if s[i] == quote {
+			unq, err := strconv.Unquote(s[:i+1])
+			return unq, s[i+1:], err
+		}
+	}
+	return "", "", strconv.ErrSyntax
+}

@@ -1,0 +1,105 @@
+// Package errsentinel enforces the decode-path error discipline: every
+// error constructed on a decoder-facing path wraps a typed sentinel
+// (ErrCorrupt, ErrIntegrity, ErrBadOptions, ...) via %w, so
+// errors.Is(err, scdc.ErrCorrupt) works uniformly from every layer of the
+// stack.
+//
+// Inside functions whose name marks them as decoder-facing (Decompress*,
+// Decode*, parse*, inspect*, *Footer, ...), the analyzer flags:
+//
+//   - fmt.Errorf calls that format an error value with %v or %s instead
+//     of wrapping it with %w — errors.Is/As cannot see through such a
+//     flattening, which breaks hostile-input tests that probe for typed
+//     sentinels from outer layers;
+//   - fmt.Errorf calls with no %w directive at all (the error joins no
+//     sentinel chain);
+//   - naked errors.New calls, which produce anonymous, unclassifiable
+//     errors on paths where callers must distinguish corruption from
+//     integrity failure.
+//
+// Package-level sentinel definitions (var ErrX = errors.New(...)) are, of
+// course, not flagged: they are the chains' roots.
+package errsentinel
+
+import (
+	"go/ast"
+
+	"scdc/internal/analysis"
+)
+
+// Analyzer is the errsentinel analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc: "decode-path errors must wrap ErrCorrupt/ErrIntegrity-style " +
+		"sentinels via %w (typed sentinel invariant, PR 2)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.DecodeFuncRx.MatchString(fn.Name.Name) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := analysis.PkgFunc(pass.Info, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkg == "errors" && name == "New":
+			pass.Reportf(call.Pos(),
+				"naked errors.New in decode path %s: return or wrap a typed sentinel (ErrCorrupt/ErrIntegrity) so callers can classify the failure",
+				fn.Name.Name)
+		case pkg == "fmt" && name == "Errorf":
+			checkErrorf(pass, fn, call)
+		}
+		return true
+	})
+}
+
+func checkErrorf(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, ok := analysis.StringLit(call.Args[0])
+	if !ok {
+		return // non-literal format: out of scope
+	}
+	verbs := analysis.FormatVerbs(format)
+	wraps := false
+	flagged := false
+	for _, v := range verbs {
+		argIdx := 1 + v.Arg
+		if argIdx >= len(call.Args) {
+			continue // malformed call; go vet owns that diagnosis
+		}
+		if v.Verb == 'w' {
+			wraps = true
+			continue
+		}
+		if analysis.IsErrorType(pass.TypeOf(call.Args[argIdx])) {
+			pass.Reportf(call.Args[argIdx].Pos(),
+				"error value formatted with %%%c in decode path %s: use %%w so errors.Is sees the wrapped cause",
+				v.Verb, fn.Name.Name)
+			flagged = true
+		}
+	}
+	if !wraps && !flagged {
+		pass.Reportf(call.Pos(),
+			"decode-path error in %s wraps no sentinel: include a typed sentinel with %%w (e.g. %%w: detail with ErrCorrupt)",
+			fn.Name.Name)
+	}
+}

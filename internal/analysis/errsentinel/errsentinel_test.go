@@ -1,0 +1,15 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"scdc/internal/analysis/analysistest"
+	"scdc/internal/analysis/errsentinel"
+)
+
+func TestErrSentinel(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", errsentinel.Analyzer, "a")
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3", len(diags))
+	}
+}

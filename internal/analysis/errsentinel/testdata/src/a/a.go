@@ -1,0 +1,48 @@
+// Package a is the errsentinel fixture: decode-path error construction
+// in every flagged spelling, plus the approved sentinel-wrapping forms.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt mirrors the real sentinel; package-level roots are legal.
+var ErrCorrupt = errors.New("a: corrupt stream")
+
+func checkBody(data []byte) error {
+	if len(data) == 0 {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// decodeHeader exercises every flagged spelling.
+func decodeHeader(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("short header: %d bytes", len(data)) // want "wraps no sentinel"
+	}
+	if data[0] != 1 {
+		return errors.New("bad version") // want "naked errors.New"
+	}
+	if err := checkBody(data); err != nil {
+		return fmt.Errorf("%w: body: %v", ErrCorrupt, err) // want "formatted with %v"
+	}
+	return nil
+}
+
+// parseFooter is the approved form: the cause stays visible to errors.Is.
+func parseFooter(data []byte) error {
+	if err := checkBody(data); err != nil {
+		return fmt.Errorf("%w: footer: %w", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// Encode is not decoder-facing; its errors are out of scope.
+func Encode(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("nothing to encode")
+	}
+	return nil
+}

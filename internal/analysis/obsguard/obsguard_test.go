@@ -1,0 +1,15 @@
+package obsguard_test
+
+import (
+	"testing"
+
+	"scdc/internal/analysis/analysistest"
+	"scdc/internal/analysis/obsguard"
+)
+
+func TestObsGuard(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", obsguard.Analyzer, "a")
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4", len(diags))
+	}
+}

@@ -1,0 +1,94 @@
+// Package a is the obsguard fixture: expensive observation arguments
+// with and without nil guards, and span lifecycles in every shape.
+package a
+
+import "obs"
+
+func entropyBits(data []float64) float64 {
+	total := 0.0
+	for _, v := range data {
+		total += v * v
+	}
+	return total
+}
+
+// Unguarded pays for entropyBits even when sp is nil.
+func Unguarded(data []float64, sp *obs.Span) {
+	sp.Add("bits", int64(entropyBits(data))) // want "outside a nil guard"
+	sp.Add("n", int64(len(data)))
+}
+
+// Guarded wraps the expensive argument in the nil check.
+func Guarded(data []float64, sp *obs.Span) {
+	if sp != nil {
+		sp.Add("bits", int64(entropyBits(data)))
+	}
+}
+
+// GuardedEarly uses the early-return form of the guard.
+func GuardedEarly(data []float64, sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	sp.Add("bits", int64(entropyBits(data)))
+}
+
+// GuardedClosure guards in the enclosing function; the closure inherits
+// the lexical region.
+func GuardedClosure(data []float64, sp *obs.Span) {
+	if sp != nil {
+		run(func() {
+			sp.Add("bits", int64(entropyBits(data)))
+		})
+	}
+}
+
+func run(f func()) { f() }
+
+// Leak starts a span and never ends it.
+func Leak(rec *obs.Recorder) {
+	sp := rec.Span("leak") // want "never ended"
+	sp.Add("n", 1)
+}
+
+// EarlyReturn ends the span only on the happy path.
+func EarlyReturn(rec *obs.Recorder, fail bool) bool {
+	sp := rec.Span("step")
+	if fail {
+		return false // want "return before sp.End"
+	}
+	sp.End()
+	return true
+}
+
+// DeferredEnd is the approved pattern.
+func DeferredEnd(rec *obs.Recorder, fail bool) bool {
+	sp := rec.Span("step")
+	defer sp.End()
+	if fail {
+		return false
+	}
+	return true
+}
+
+// Handoff returns the span; the caller owns End.
+func Handoff(rec *obs.Recorder) *obs.Span {
+	sp := rec.Span("handoff")
+	return sp
+}
+
+// HelperLeak tracks spans produced by helpers returning *obs.Span too.
+func HelperLeak(rec *obs.Recorder, fail bool) bool {
+	sp := Handoff(rec)
+	if fail {
+		return false // want "return before sp.End"
+	}
+	sp.End()
+	return true
+}
+
+// Accum spans end as a no-op; they are exempt from lifecycle tracking.
+func Accum(parent *obs.Span) {
+	acc := parent.ChildAccum("acc")
+	acc.AddSince(acc.Begin())
+}

@@ -1,0 +1,32 @@
+// Package obs is a stand-in for the real telemetry package: the same
+// type names and method surface, nil-receiver-safe by contract. The
+// analyzer matches obs types by package name, so fixtures can use this
+// local double instead of importing the real module.
+package obs
+
+// Span is a stand-in span node.
+type Span struct{ name string }
+
+// Child starts a wall-clock child span.
+func (s *Span) Child(name string) *Span { return &Span{name} }
+
+// ChildAccum starts an accumulating child span; End is a no-op.
+func (s *Span) ChildAccum(name string) *Span { return &Span{name} }
+
+// Add records a counter.
+func (s *Span) Add(key string, v int64) {}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Begin marks an accumulation interval start.
+func (s *Span) Begin() int64 { return 0 }
+
+// AddSince accumulates the interval since t.
+func (s *Span) AddSince(t int64) {}
+
+// Recorder is a stand-in recorder.
+type Recorder struct{}
+
+// Span starts a root span.
+func (r *Recorder) Span(name string) *Span { return &Span{name} }

@@ -1,0 +1,15 @@
+package poolreturn_test
+
+import (
+	"testing"
+
+	"scdc/internal/analysis/analysistest"
+	"scdc/internal/analysis/poolreturn"
+)
+
+func TestPoolReturn(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", poolreturn.Analyzer, "a")
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4", len(diags))
+	}
+}

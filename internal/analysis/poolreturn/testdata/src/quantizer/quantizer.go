@@ -1,0 +1,9 @@
+// Package quantizer is a stand-in for the real pooled scratch API; the
+// analyzer matches its Get*/Put* functions by package name and prefix.
+package quantizer
+
+// GetIndexBuf returns a pooled index buffer of length n.
+func GetIndexBuf(n int) []int32 { return make([]int32, n) }
+
+// PutIndexBuf returns the buffer to the pool.
+func PutIndexBuf(b []int32) {}

@@ -1,0 +1,111 @@
+// Package streamdeterminism flags constructs that can make an encoder
+// emit different bytes on different runs: map iteration, wall-clock
+// reads, and the globally seeded math/rand source.
+//
+// The compressors guarantee bit-identical streams at any worker count,
+// and the golden corpus (testdata/golden) pins stream SHA-256s across
+// releases. Any map-range on an encode path — the Huffman table builder
+// is the canonical example — silently breaks both, because Go randomizes
+// map iteration order per run. Even when a later sort restores a
+// canonical order, floating-point accumulation in map order is already
+// order-dependent, so the rule is absolute: stream-producing packages do
+// not iterate maps, read the clock, or draw from shared randomness.
+// Intentional exceptions carry a scdclint:ignore comment.
+//
+// One shape is exempt by construction: the key-collection prelude of the
+// sorted-iteration idiom,
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//
+// whose result is order-insensitive (the same key set lands in the slice
+// regardless of visit order; the mandatory sort follows).
+package streamdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"scdc/internal/analysis"
+)
+
+// Analyzer is the streamdeterminism analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "streamdeterminism",
+	Doc: "forbid map iteration, time.Now and global math/rand in " +
+		"stream-producing packages (bit-identical stream invariant, PR 1)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap && !isKeyCollection(pass, n) {
+					pass.Reportf(n.Pos(),
+						"iteration over map %s: order is randomized per run and can change the emitted stream; iterate a sorted key slice instead",
+						types.ExprString(n.X))
+				}
+			}
+		case *ast.CallExpr:
+			pkg, name, ok := analysis.PkgFunc(pass.Info, n)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "time" && name == "Now":
+				pass.Reportf(n.Pos(),
+					"time.Now in stream-producing code: wall-clock values must never influence encoder output")
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && isGlobalRandFn(name):
+				pass.Reportf(n.Pos(),
+					"math/rand.%s uses the shared global source: streams must not depend on process-global randomness; thread an explicitly seeded *rand.Rand instead",
+					name)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isKeyCollection matches the order-insensitive key-collection prelude of
+// the sorted-iteration idiom: `for k := range m { s = append(s, k) }`
+// with no value variable and nothing else in the body.
+func isKeyCollection(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	if rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if _, isB := pass.Info.Uses[fn].(*types.Builtin); !isB {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	return ok && pass.Info.Uses[arg] == pass.Info.Defs[key]
+}
+
+// isGlobalRandFn reports whether the math/rand package-level function
+// draws from the process-global source. Constructors (New, NewSource,
+// NewZipf) are fine: an explicitly seeded local source is deterministic.
+func isGlobalRandFn(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}

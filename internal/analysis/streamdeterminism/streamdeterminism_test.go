@@ -1,0 +1,15 @@
+package streamdeterminism_test
+
+import (
+	"testing"
+
+	"scdc/internal/analysis/analysistest"
+	"scdc/internal/analysis/streamdeterminism"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", streamdeterminism.Analyzer, "a")
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3", len(diags))
+	}
+}

@@ -1,0 +1,58 @@
+// Package a is the streamdeterminism fixture: encoder-shaped code with
+// every forbidden nondeterminism source, plus the approved alternatives.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// EncodeTable serializes a histogram in map order — the canonical bug.
+func EncodeTable(m map[int32]uint64) []int32 {
+	var out []int32
+	for s, c := range m { // want "iteration over map m"
+		out = append(out, s, int32(c))
+	}
+	return out
+}
+
+// EncodeSorted is the approved sorted-iteration idiom: the key-collection
+// prelude is order-insensitive and exempt.
+func EncodeSorted(m map[int32]uint64) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var out []int32
+	for _, k := range keys {
+		out = append(out, k, int32(m[k]))
+	}
+	return out
+}
+
+// Stamp leaks the wall clock into the stream.
+func Stamp() int64 {
+	return time.Now().Unix() // want "time.Now"
+}
+
+// Jitter draws from the shared global source.
+func Jitter() int {
+	return rand.Intn(8) // want "math/rand.Intn uses the shared global source"
+}
+
+// SeededJitter threads an explicitly seeded local source: deterministic.
+func SeededJitter() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(8)
+}
+
+// Allowed demonstrates the documented escape hatch.
+func Allowed(m map[int]int) int {
+	total := 0
+	for _, v := range m { //scdclint:ignore streamdeterminism -- commutative integer sum, order cannot matter
+		total += v
+	}
+	return total
+}

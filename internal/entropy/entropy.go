@@ -4,7 +4,10 @@
 // minimize H(f(Q)) subject to f being reversible.
 package entropy
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Histogram counts symbol occurrences in q. The map form tolerates the
 // full int32 range without allocating dense tables.
@@ -30,9 +33,18 @@ func FromHistogram(h map[int32]int, n int) float64 {
 	if n == 0 {
 		return 0
 	}
+	// Accumulate in sorted symbol order: float addition is not
+	// associative, and map iteration order would otherwise make the
+	// low-order bits of the result vary from run to run.
+	syms := make([]int32, 0, len(h))
+	for s := range h {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
 	inv := 1.0 / float64(n)
 	e := 0.0
-	for _, c := range h {
+	for _, s := range syms {
+		c := h[s]
 		if c == 0 {
 			continue
 		}

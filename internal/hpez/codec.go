@@ -120,6 +120,7 @@ func compressCore(data []float64, dims []int, pl plan, q, qp []int32, pred *core
 // decompressCore reverses compressCore.
 func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, literals []float64, pred *core.Predictor) error {
 	strides := grid.Strides(dims)
+	//scdclint:ignore alloccap -- pl.levels is bounded (<= 62) by decodePlan before decompressCore runs
 	quants := make([]quantizer.Linear, pl.levels+1)
 	for l := 1; l <= pl.levels; l++ {
 		quants[l] = quantizer.Linear{EB: pl.ebs[l-1], Radius: pl.radius}

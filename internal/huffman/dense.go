@@ -1,6 +1,9 @@
 package huffman
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Dense-range fast paths. Quantization index arrays concentrate in a
 // narrow band around the quantizer's center symbol, so histogramming and
@@ -60,8 +63,17 @@ func entropyStats(q []int32) (bits float64, distinct int) {
 		for _, v := range q {
 			m[v]++
 		}
+		// Sum in sorted symbol order: the float accumulation is not
+		// associative, and this estimate feeds codec decisions, so map
+		// iteration order must not leak into the result.
+		syms := make([]int32, 0, len(m))
+		for s := range m {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
 		n := float64(len(q))
-		for _, c := range m {
+		for _, s := range syms {
+			c := m[s]
 			distinct++
 			p := float64(c) / n
 			bits += float64(c) * neglog2(p)

@@ -91,11 +91,17 @@ func gatherCounts(q []int32) []symCount {
 	for _, v := range q {
 		m[v]++
 	}
-	out := make([]symCount, 0, len(m))
-	for s, c := range m {
-		out = append(out, symCount{s, c})
+	// Iterate symbols in sorted order rather than map order so the table
+	// construction path never depends on per-run map randomization.
+	syms := make([]int32, 0, len(m))
+	for s := range m {
+		syms = append(syms, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].sym < out[j].sym })
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	out := make([]symCount, 0, len(m))
+	for _, s := range syms {
+		out = append(out, symCount{s, m[s]})
+	}
 	return out
 }
 

@@ -77,6 +77,7 @@ func Compress(c Codec, src []byte) ([]byte, error) {
 		// Flate writers carry large internal match/window state; recycling
 		// them removes the dominant per-call allocation of this stage.
 		w := flateWriterPool.Get().(*flate.Writer)
+		defer flateWriterPool.Put(w)
 		w.Reset(&buf)
 		if _, err := w.Write(src); err != nil {
 			return nil, err
@@ -84,7 +85,6 @@ func Compress(c Codec, src []byte) ([]byte, error) {
 		if err := w.Close(); err != nil {
 			return nil, err
 		}
-		flateWriterPool.Put(w)
 		return buf.Bytes(), nil
 	case LZ:
 		return append(hdr, lzCompress(src)...), nil
@@ -141,8 +141,9 @@ func DecompressLimit(data []byte, maxOut int) ([]byte, error) {
 		return append([]byte(nil), body...), nil
 	case Flate:
 		r := flateReaderPool.Get().(io.ReadCloser)
+		defer flateReaderPool.Put(r)
 		if err := r.(flate.Resetter).Reset(bytes.NewReader(body), nil); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		// The preallocation hint is clamped: DEFLATE expands at most ~1032x,
 		// so memory use stays proportional to the body even when the header
@@ -154,12 +155,11 @@ func DecompressLimit(data []byte, maxOut int) ([]byte, error) {
 		out := make([]byte, 0, hint)
 		buf := bytes.NewBuffer(out)
 		if _, err := io.Copy(buf, io.LimitReader(r, int64(n)+1)); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		if uint64(buf.Len()) != n {
 			return nil, fmt.Errorf("%w: flate length mismatch", ErrCorrupt)
 		}
-		flateReaderPool.Put(r)
 		return buf.Bytes(), nil
 	case LZ:
 		return lzDecompress(body, int(n))

@@ -98,7 +98,7 @@ func (o *Options) normalize() error {
 		o.Lossless = lossless.Flate
 	}
 	if err := o.QP.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+		return fmt.Errorf("%w: %w", ErrBadOptions, err)
 	}
 	return nil
 }
@@ -227,7 +227,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	llSp.Add("bytes_out", int64(len(buf)))
 	llSp.End()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if len(buf) < 2 {
 		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
@@ -241,7 +241,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	qpCfg.MaxLevel = int(ml)
 	buf = buf[k:]
 	if err := qpCfg.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	radius, k := binary.Uvarint(buf)
 	if k <= 0 || radius < 2 || radius > 1<<30 {
@@ -284,7 +284,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	huffSp.Add("symbols", int64(len(enc)))
 	huffSp.End()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	buf = buf[hl:]
 	if len(enc) != n {
@@ -308,7 +308,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	if qpCfg.Enabled() {
 		pred, err = core.NewPredictor(qpCfg, int32(radius))
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 	}
 	interpSp := sp.Child("interp")

@@ -95,7 +95,7 @@ func (o *Options) normalize() error {
 		o.Lossless = lossless.Flate
 	}
 	if err := o.QP.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+		return fmt.Errorf("%w: %w", ErrBadOptions, err)
 	}
 	return nil
 }
@@ -214,7 +214,7 @@ func decodePlan(buf []byte, nd int) (plan, []byte, error) {
 	pl.qp.MaxLevel = int(ml)
 	buf = buf[k:]
 	if err := pl.qp.Validate(); err != nil {
-		return pl, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return pl, nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	radius, k := binary.Uvarint(buf)
 	if k <= 0 || radius < 2 || radius > 1<<30 {
@@ -285,7 +285,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	llSp.Add("bytes_out", int64(len(buf)))
 	llSp.End()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	pl, buf, err := decodePlan(buf, len(dims))
 	if err != nil {
@@ -314,7 +314,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	huffSp.Add("symbols", int64(len(enc)))
 	huffSp.End()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	buf = buf[hl:]
 	if len(enc) != n {
@@ -338,7 +338,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	if pl.qp.Enabled() {
 		pred, err = core.NewPredictor(pl.qp, pl.radius)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 	}
 	if err := decompressCore(out.Data, dims, pl, enc, anchors, literals, pred, workers, sp); err != nil {

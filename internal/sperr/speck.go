@@ -119,7 +119,9 @@ func speckDecode(data []byte, px, py, pz int) ([]int32, error) {
 // decodes losslessly.
 func speckDecodePlanes(data []byte, px, py, pz, skip int) ([]int32, error) {
 	n := px * py * pz
-	q := make([]int32, n)
+	// px, py, pz come from the block partition of dims already validated
+	// by the container parser, not from the SPECK payload itself.
+	q := make([]int32, n) //scdclint:ignore alloccap -- block dims validated by the caller
 	r := bitstream.NewReader(data)
 	planes64, err := r.ReadBits(6)
 	if err != nil {
@@ -140,8 +142,8 @@ func speckDecodePlanes(data []byte, px, py, pz, skip int) ([]int32, error) {
 		}
 	}
 
-	mag := make([]uint32, n)
-	neg := make([]bool, n)
+	mag := make([]uint32, n) //scdclint:ignore alloccap -- block dims validated by the caller
+	neg := make([]bool, n)   //scdclint:ignore alloccap -- block dims validated by the caller
 	lis := []box{{0, 0, 0, px, py, pz, 0}}
 	var lsp []int
 	var lspAt []int

@@ -252,7 +252,7 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 	}
 	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if len(buf) < 8 {
 		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
@@ -294,7 +294,7 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 		return nil, fmt.Errorf("%w: unknown coder %d", ErrCorrupt, coder)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if len(q) != pl.px*pl.py*pl.pz {
 		return nil, fmt.Errorf("%w: %d coefficients for padded size %d", ErrCorrupt, len(q), pl.px*pl.py*pl.pz)
@@ -357,7 +357,7 @@ func DecompressPreview(payload []byte, dims []int, skipPlanes int) (*grid.Field,
 	}
 	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if len(buf) < 8 {
 		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
@@ -394,7 +394,7 @@ func DecompressPreview(payload []byte, dims []int, skipPlanes int) (*grid.Field,
 		return nil, fmt.Errorf("%w: unknown coder %d", ErrCorrupt, coder)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if len(q) != pl.px*pl.py*pl.pz {
 		return nil, fmt.Errorf("%w: %d coefficients for padded size %d", ErrCorrupt, len(q), pl.px*pl.py*pl.pz)

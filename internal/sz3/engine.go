@@ -309,6 +309,7 @@ func decompressPass(data []float64, enc []int32, pa *pass,
 	}
 
 	passSp := passSpan(obsParent, pa)
+	defer passSp.End()
 	grain := passGrain(pa, workers)
 	counts := make([]int, parallel.Chunks(pa.numLines, grain))
 	s, n, dstr := pa.s, pa.n, pa.dstr
@@ -343,6 +344,5 @@ func decompressPass(data []float64, enc []int32, pa *pass,
 		csp.Add("lines", int64(hi-lo))
 		csp.End()
 	})
-	passSp.End()
 	return cur, nil
 }

@@ -149,7 +149,7 @@ func (o *Options) normalize(nd int) error {
 		o.Lossless = lossless.Flate
 	}
 	if err := o.QP.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+		return fmt.Errorf("%w: %w", ErrBadOptions, err)
 	}
 	if o.DirOrder == nil {
 		o.DirOrder = DefaultDirOrder(nd)
@@ -186,7 +186,7 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	}
 	quant, err := quantizer.NewLinear(opts.ErrorBound, opts.Radius)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadOptions, err)
 	}
 
 	mode := ModeInterp
@@ -316,7 +316,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	llSp.Add("bytes_out", int64(len(buf)))
 	llSp.End()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if len(buf) < 3 {
 		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
@@ -350,7 +350,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	qpCfg.MaxLevel = int(ml)
 	buf = buf[k:]
 	if err := qpCfg.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	radius64, k := binary.Uvarint(buf)
 	if k <= 0 || radius64 < 2 || radius64 > 1<<30 {
@@ -377,7 +377,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	huffSp.Add("symbols", int64(len(enc)))
 	huffSp.End()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	buf = buf[hl:]
 	if len(enc) != n {
@@ -395,7 +395,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 
 	quant, err := quantizer.NewLinear(eb, int32(radius64))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 
 	out, err := grid.New(dims...)
@@ -409,7 +409,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 		if qpCfg.Enabled() {
 			pred, err = core.NewPredictor(qpCfg, int32(radius64))
 			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+				return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 			}
 		}
 		if err := decompressInterp(out.Data, dims, kind, dirOrder, quant, enc, literals, pred, workers, sp); err != nil {
@@ -420,7 +420,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 		if qpCfg.Enabled() {
 			pred, err = core.NewPredictor(qpCfg, int32(radius64))
 			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+				return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 			}
 		}
 		loSp := sp.Child("lorenzo")

@@ -121,7 +121,7 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 	}
 	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if len(buf) < 8 {
 		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
@@ -137,7 +137,7 @@ func Decompress(payload []byte, dims []int) (*grid.Field, error) {
 	}
 	q, err := huffman.Decode(buf[k : k+int(hl)])
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 
 	pl := makePlan(dims)

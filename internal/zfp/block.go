@@ -198,7 +198,7 @@ func encodeBlock(w *bitstream.Writer, blk *[blockLen]float64, minexp int) {
 func decodeBlock(r *bitstream.Reader, blk *[blockLen]float64, minexp int) error {
 	flag, err := r.ReadBit()
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if flag == 0 {
 		for i := range blk {
@@ -208,7 +208,7 @@ func decodeBlock(r *bitstream.Reader, blk *[blockLen]float64, minexp int) error 
 	}
 	e, err := r.ReadBits(ebBits)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	emax := int(e) - ebBias
 	maxprec := precision(emax, minexp)
@@ -222,7 +222,7 @@ func decodeBlock(r *bitstream.Reader, blk *[blockLen]float64, minexp int) error 
 	for k := 63; k >= kmin; k-- {
 		x, err := r.ReadBits(uint(n))
 		if err != nil {
-			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return fmt.Errorf("%w: %w", ErrCorrupt, err)
 		}
 		// x holds the prefix bits MSB-first as written; reverse into
 		// per-coefficient positions.
@@ -233,7 +233,7 @@ func decodeBlock(r *bitstream.Reader, blk *[blockLen]float64, minexp int) error 
 		for i := n; i < blockLen; {
 			b, err := r.ReadBit()
 			if err != nil {
-				return fmt.Errorf("%w: %v", ErrCorrupt, err)
+				return fmt.Errorf("%w: %w", ErrCorrupt, err)
 			}
 			if b == 0 {
 				break
@@ -241,7 +241,7 @@ func decodeBlock(r *bitstream.Reader, blk *[blockLen]float64, minexp int) error 
 			for {
 				bit, err := r.ReadBit()
 				if err != nil {
-					return fmt.Errorf("%w: %v", ErrCorrupt, err)
+					return fmt.Errorf("%w: %w", ErrCorrupt, err)
 				}
 				u[i] |= uint64(bit) << uint(k)
 				i++

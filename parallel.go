@@ -34,7 +34,7 @@ func CompressChunked(data []float64, dims []int, opts Options, workers, chunkExt
 func compressChunkedSpan(data []float64, dims []int, opts Options, workers, chunkExtent int, sp *obs.Span) ([]byte, error) {
 	f, err := grid.FromSlice(data, dims...)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadOptions, err)
 	}
 	if len(dims) < 2 {
 		return nil, fmt.Errorf("%w: chunked compression needs >= 2 dims", ErrBadOptions)
@@ -141,7 +141,7 @@ func decompressChunkedSpan(stream []byte, workers int, sp *obs.Span) (*Result, e
 	// output field is allocated.
 	n, err := grid.CheckDims(dims)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	payload := 0
 	for _, c := range chunks {

@@ -83,7 +83,7 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 			return Algorithm(i), nil
 		}
 	}
-	return 0, fmt.Errorf("scdc: unknown algorithm %q", name)
+	return 0, fmt.Errorf("%w: unknown algorithm %q", ErrBadOptions, name)
 }
 
 // SupportsQP reports whether the algorithm's pipeline has a quantization
@@ -275,7 +275,7 @@ func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
 func compressSpan(data []float64, dims []int, opts Options, sp *obs.Span) ([]byte, error) {
 	f, err := grid.FromSlice(data, dims...)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadOptions, err)
 	}
 	eb, err := resolveBound(f, opts)
 	if err != nil {
@@ -347,7 +347,7 @@ func compressSpan(data []float64, dims []int, opts Options, sp *obs.Span) ([]byt
 func CompressFloat32(data []float32, dims []int, opts Options) ([]byte, error) {
 	f, err := grid.FromFloat32(data, dims...)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadOptions, err)
 	}
 	return Compress(f.Data, dims, opts)
 }
@@ -404,7 +404,7 @@ func decompressSpan(stream []byte, workers int, sp *obs.Span) (*Result, error) {
 	// payload actually present.
 	n, err := grid.CheckDims(dims)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	if len(buf) == 0 || n > len(buf)*maxPointsPerByte {
 		return nil, fmt.Errorf("%w: %d points declared for %d payload bytes", ErrCorrupt, n, len(buf))
