@@ -12,7 +12,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint lint-fixtures race check bench bench-pr3 fuzz-smoke cover
+.PHONY: all build test vet lint lint-fixtures race check bench bench-pr3 bench-pr5 fuzz-smoke cover
 
 all: check
 
@@ -56,13 +56,14 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzBitReader$$' -fuzztime $(FUZZTIME) ./internal/bitstream/
 	$(GO) test -run xxx -fuzz '^FuzzBitWriterReader$$' -fuzztime $(FUZZTIME) ./internal/bitstream/
 	$(GO) test -run xxx -fuzz '^FuzzQuantizerRecover$$' -fuzztime $(FUZZTIME) ./internal/quantizer/
+	$(GO) test -run xxx -fuzz '^FuzzQPKernelDifferential$$' -fuzztime $(FUZZTIME) ./internal/core/
 
 cover:
 	$(GO) test -cover ./...
 
 check: build test vet lint lint-fixtures race fuzz-smoke
 
-bench: bench-pr3
+bench: bench-pr3 bench-pr5
 	@mkdir -p results
 	$(GO) test -run xxx -bench 'BenchmarkHotPath' -benchtime 5x . | tee results/bench_hotpath_raw.txt
 	sh scripts/bench_json.sh results/bench_hotpath_raw.txt > results/BENCH_pr1.json
@@ -84,3 +85,19 @@ bench-pr3:
 	    > results/BENCH_pr3.json
 	@rm -f results/bench_pr3.scdc
 	@echo wrote results/BENCH_pr3.json
+
+# Kernelized-QP snapshot: the same observed compression as bench-pr3 (so
+# the qp stage is an apples-to-apples before/after against the PR 3
+# baseline in results/BENCH_pr3.json) plus the core-layer kernel
+# benchmarks isolating forward/inverse sweeps from the pipeline.
+bench-pr5:
+	@mkdir -p results
+	$(GO) run ./cmd/scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp \
+	    -out results/bench_pr5.scdc -stats -statsout results/bench_pr5.stats.json \
+	    | tee results/bench_pr5_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkQPKernels' -benchtime 20x . \
+	    | tee -a results/bench_pr5_raw.txt
+	sh scripts/bench_json_pr5.sh results/bench_pr5.stats.json results/bench_pr5_raw.txt \
+	    results/BENCH_pr3.json > results/BENCH_pr5.json
+	@rm -f results/bench_pr5.scdc
+	@echo wrote results/BENCH_pr5.json

@@ -10,8 +10,10 @@ import (
 
 	"scdc"
 
+	"scdc/internal/core"
 	"scdc/internal/datagen"
 	"scdc/internal/huffman"
+	"scdc/internal/quantizer"
 	"scdc/internal/sz3"
 )
 
@@ -118,5 +120,83 @@ func BenchmarkHotPathShardedHuffman(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkQPKernels isolates the QP stage on a Miranda-sized symbol
+// array (paper default Mode2D/Case III): the per-point Compensate
+// reference against the specialized region kernels, forward and inverse,
+// sequential and parallel. `make bench-pr5` snapshots the end-to-end qp
+// stage timing into results/BENCH_pr5.json.
+func BenchmarkQPKernels(b *testing.B) {
+	f := field(datagen.Miranda, 1)
+	var tr sz3.Trace
+	opts := sz3.DefaultOptions(1e-3)
+	opts.Choice = sz3.ChoiceInterp
+	opts.Trace = &tr
+	if _, err := sz3.Compress(f, opts); err != nil {
+		b.Fatal(err)
+	}
+	q := tr.Q
+	dims := f.Dims()
+	rg := core.Region{
+		Ext:  [4]int{1, dims[0], dims[1], dims[2]},
+		Strd: [4]int{0, dims[1] * dims[2], dims[2], 1},
+		Left: 3, Top: 2, Back: 1,
+		Level: 1,
+	}
+	newPred := func(b *testing.B) *core.Predictor {
+		p, err := core.NewPredictor(core.Default(), quantizer.DefaultRadius)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+
+	b.Run("forward/ref", func(b *testing.B) {
+		p := newPred(b)
+		qp := make([]int32, len(q))
+		b.SetBytes(int64(len(q) * 4))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.ForwardRegionRef(q, qp, rg)
+		}
+	})
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("forward/kernel/workers=%d", w), func(b *testing.B) {
+			p := newPred(b)
+			qp := make([]int32, len(q))
+			b.SetBytes(int64(len(q) * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.ForwardRegion(q, qp, rg, w, nil)
+			}
+		})
+	}
+
+	p := newPred(b)
+	qp := make([]int32, len(q))
+	p.ForwardRegion(q, qp, rg, 1, nil)
+	b.Run("inverse/ref", func(b *testing.B) {
+		p := newPred(b)
+		enc := make([]int32, len(q))
+		b.SetBytes(int64(len(q) * 4))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(enc, qp)
+			p.InverseRegionRef(enc, rg)
+		}
+	})
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("inverse/kernel/workers=%d", w), func(b *testing.B) {
+			p := newPred(b)
+			enc := make([]int32, len(q))
+			b.SetBytes(int64(len(q) * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(enc, qp)
+				p.InverseRegion(enc, rg, w, nil)
+			}
+		})
 	}
 }

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scdc/internal/obs"
+)
+
+// The kernel differential suite pins ForwardRegion/InverseRegion against
+// the reference Compensate path (ForwardRegionRef/InverseRegionRef) for
+// every Mode x Cond pair, several region geometries (contiguous scan,
+// strided pass, 2D plane, degenerate axes, MaxLevel cutoff) and worker
+// counts 1/2/4/8 — byte-identical outputs, identical Compensated totals,
+// identical write footprint.
+
+type regionCase struct {
+	name string
+	arr  int // backing array length
+	rg   Region
+}
+
+func kernelRegionCases() []regionCase {
+	return []regionCase{
+		{
+			// Contiguous Lorenzo-style scan over a 5x6x7 block.
+			name: "lorenzo-5x6x7",
+			arr:  210,
+			rg: Region{Base: 0, Ext: [4]int{1, 5, 6, 7}, Strd: [4]int{0, 42, 7, 1},
+				Left: 3, Top: 2, Back: 1, Level: 1},
+		},
+		{
+			// Strided plane (rows/cols with gaps), no Back axis.
+			name: "plane-9x8",
+			arr:  400,
+			rg: Region{Base: 3, Ext: [4]int{1, 1, 9, 8}, Strd: [4]int{0, 0, 40, 4},
+				Left: 3, Top: 2, Back: -1, Level: 2},
+		},
+		{
+			// Pass-like 4-axis lattice with stride-2 steps on every axis,
+			// Back on the run axis (the SZ3 schedule shape).
+			name: "pass-4x5x6x7",
+			arr:  13440,
+			rg: Region{Base: 1849, Ext: [4]int{4, 5, 6, 7}, Strd: [4]int{3360, 336, 28, 2},
+				Left: 1, Top: 2, Back: 3, Level: 1},
+		},
+		{
+			// Same lattice, neighbor axes permuted (Left on the slowest
+			// axis) — exercises outer-axis row gating.
+			name: "pass-permuted",
+			arr:  13440,
+			rg: Region{Base: 1849, Ext: [4]int{4, 5, 6, 7}, Strd: [4]int{3360, 336, 28, 2},
+				Left: 0, Top: 2, Back: 3, Level: 2},
+		},
+		{
+			// Degenerate Top axis (extent 1): 2D/3D modes collapse to the
+			// identity, 1D-Left still predicts along the run.
+			name: "degenerate-top",
+			arr:  64,
+			rg: Region{Base: 0, Ext: [4]int{1, 1, 1, 16}, Strd: [4]int{0, 0, 0, 3},
+				Left: 3, Top: 2, Back: -1, Level: 1},
+		},
+		{
+			// Level above the default MaxLevel: the whole region is the
+			// copy path.
+			name: "above-maxlevel",
+			arr:  210,
+			rg: Region{Base: 0, Ext: [4]int{1, 5, 6, 7}, Strd: [4]int{0, 42, 7, 1},
+				Left: 3, Top: 2, Back: 1, Level: 3},
+		},
+		{
+			// Single row: no parallelism to extract, boundary-only work.
+			name: "single-row",
+			arr:  9,
+			rg: Region{Base: 0, Ext: [4]int{1, 1, 1, 9}, Strd: [4]int{0, 0, 0, 1},
+				Left: -1, Top: -1, Back: 3, Level: 1},
+		},
+	}
+}
+
+// fillSymbols populates the backing array with symbols biased toward the
+// interesting values: the unpredictable marker (0), the centered zero
+// (radius) and both signs around it.
+func fillSymbols(rng *rand.Rand, a []int32, radius int32) {
+	for i := range a {
+		switch rng.Intn(8) {
+		case 0:
+			a[i] = 0 // unpredictable marker
+		case 1:
+			a[i] = radius // centered zero
+		default:
+			a[i] = radius + int32(rng.Intn(9)) - 4
+		}
+	}
+}
+
+func allModes() []Mode {
+	return []Mode{ModeOff, Mode1DBack, Mode1DTop, Mode1DLeft, Mode2D, Mode3D}
+}
+
+func allConds() []Cond {
+	return []Cond{CondAlways, CondSkipUnpredictable, CondSameSign2, CondSameSign3}
+}
+
+func TestKernelsMatchCompensate(t *testing.T) {
+	const radius = int32(8)
+	const sentinel = int32(-999)
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range kernelRegionCases() {
+		for _, maxLevel := range []int{0, 2} {
+			for _, mode := range allModes() {
+				for _, cond := range allConds() {
+					cfg := Config{Mode: mode, Cond: cond, MaxLevel: maxLevel}
+					q := make([]int32, tc.arr)
+					fillSymbols(rng, q, radius)
+
+					refPred := &Predictor{Cfg: cfg, Radius: radius}
+					qpRef := make([]int32, tc.arr)
+					for i := range qpRef {
+						qpRef[i] = sentinel
+					}
+					refPred.ForwardRegionRef(q, qpRef, tc.rg)
+
+					invRef := make([]int32, tc.arr)
+					copy(invRef, qpRef)
+					// Non-region slots hold sentinels; restore originals so
+					// the inverse reference sees a coherent array.
+					for i := range invRef {
+						if invRef[i] == sentinel {
+							invRef[i] = q[i]
+						}
+					}
+					refInvPred := &Predictor{Cfg: cfg, Radius: radius}
+					refInvPred.InverseRegionRef(invRef, tc.rg)
+
+					for _, workers := range []int{1, 2, 4, 8} {
+						name := fmt.Sprintf("%s/%v/%v/ml%d/w%d", tc.name, mode, cond, maxLevel, workers)
+						pred := &Predictor{Cfg: cfg, Radius: radius}
+						qp := make([]int32, tc.arr)
+						for i := range qp {
+							qp[i] = sentinel
+						}
+						pred.ForwardRegion(q, qp, tc.rg, workers, nil)
+						for i := range qp {
+							if qp[i] != qpRef[i] {
+								t.Fatalf("%s: forward mismatch at %d: kernel %d ref %d", name, i, qp[i], qpRef[i])
+							}
+						}
+						if pred.Compensated != refPred.Compensated {
+							t.Fatalf("%s: forward Compensated kernel %d ref %d", name, pred.Compensated, refPred.Compensated)
+						}
+
+						inv := make([]int32, tc.arr)
+						copy(inv, qpRef)
+						for i := range inv {
+							if inv[i] == sentinel {
+								inv[i] = q[i]
+							}
+						}
+						invPred := &Predictor{Cfg: cfg, Radius: radius}
+						invPred.InverseRegion(inv, tc.rg, workers, nil)
+						for i := range inv {
+							if inv[i] != invRef[i] {
+								t.Fatalf("%s: inverse mismatch at %d: kernel %d ref %d", name, i, inv[i], invRef[i])
+							}
+							if inv[i] != q[i] {
+								t.Fatalf("%s: inverse did not recover q at %d: got %d want %d", name, i, inv[i], q[i])
+							}
+						}
+						if invPred.Compensated != refInvPred.Compensated {
+							t.Fatalf("%s: inverse Compensated kernel %d ref %d", name, invPred.Compensated, refInvPred.Compensated)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelWorkerSpans checks that parallel sweeps attribute time to the
+// per-worker accumulating spans without perturbing results.
+func TestKernelWorkerSpans(t *testing.T) {
+	const radius = int32(8)
+	rng := rand.New(rand.NewSource(7))
+	rg := Region{Base: 0, Ext: [4]int{1, 16, 16, 16}, Strd: [4]int{0, 256, 16, 1},
+		Left: 3, Top: 2, Back: 1, Level: 1}
+	q := make([]int32, 4096)
+	fillSymbols(rng, q, radius)
+	cfg := Config{Mode: Mode2D, Cond: CondSameSign2}
+
+	ref := &Predictor{Cfg: cfg, Radius: radius}
+	qpRef := make([]int32, len(q))
+	ref.ForwardRegionRef(q, qpRef, rg)
+
+	rec := obs.New()
+	sp := rec.Span("qp")
+	wsp := WorkerSpans(sp, 4)
+	if len(wsp) != 4 {
+		t.Fatalf("WorkerSpans: got %d spans, want 4", len(wsp))
+	}
+	pred := &Predictor{Cfg: cfg, Radius: radius}
+	qp := make([]int32, len(q))
+	pred.ForwardRegion(q, qp, rg, 4, wsp)
+	for i := range qp {
+		if qp[i] != qpRef[i] {
+			t.Fatalf("observed forward mismatch at %d", i)
+		}
+	}
+	inv := make([]int32, len(q))
+	copy(inv, qp)
+	pred.InverseRegion(inv, rg, 4, wsp)
+	for i := range inv {
+		if inv[i] != q[i] {
+			t.Fatalf("observed inverse mismatch at %d", i)
+		}
+	}
+	sp.End()
+
+	if ws := WorkerSpans(nil, 4); ws != nil {
+		t.Fatalf("WorkerSpans(nil) = %v, want nil", ws)
+	}
+	if ws := WorkerSpans(sp, 1); ws != nil {
+		t.Fatalf("WorkerSpans(workers=1) = %v, want nil", ws)
+	}
+}
+
+// TestRegionCount cross-checks the strided symbol counter against a
+// brute-force walk.
+func TestRegionCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rg := Region{Base: 3, Ext: [4]int{2, 3, 4, 5}, Strd: [4]int{600, 200, 50, 10},
+		Left: 1, Top: 2, Back: 3, Level: 1}
+	a := make([]int32, 2000)
+	for i := range a {
+		a[i] = int32(rng.Intn(3))
+	}
+	want := 0
+	rg.forEachPoint(func(idx int, _ Neighborhood) {
+		if a[idx] == 1 {
+			want++
+		}
+	})
+	if got := RegionCount(a, rg, 1); got != want {
+		t.Fatalf("RegionCount = %d, want %d", got, want)
+	}
+}

@@ -15,23 +15,31 @@ type Plane struct {
 	Level     int
 }
 
+// Region maps the plane onto the kernel engine's 4-axis geometry: rows on
+// axis 2 (top neighbor), columns on axis 3 (left neighbor), no back axis.
+func (pl Plane) Region() Region {
+	return Region{
+		Base:  pl.Origin,
+		Ext:   [4]int{1, 1, pl.Rows, pl.Cols},
+		Strd:  [4]int{0, 0, pl.RowStride, pl.ColStride},
+		Left:  3,
+		Top:   2,
+		Back:  -1,
+		Level: pl.Level,
+	}
+}
+
 // Transform applies QP over the plane, writing transformed symbols Q' into
 // dst at the same positions, reading original symbols from q. dst and q
 // must be distinct arrays of identical length. Positions outside the plane
 // are left untouched in dst.
 //
 // Transform exists mainly for tests and offline characterization; the
-// compressors integrate QP point-by-point via Compensate so that the
-// prediction happens level-wise inside the compression loop (Algorithm 1
-// keeps it in-loop for cache reuse).
+// compressors integrate QP through the same region kernels level-wise
+// inside the compression loop (Algorithm 1 keeps it in-loop for cache
+// reuse).
 func (p *Predictor) Transform(dst, q []int32, pl Plane) {
-	for r := 0; r < pl.Rows; r++ {
-		for c := 0; c < pl.Cols; c++ {
-			i := pl.Origin + r*pl.RowStride + c*pl.ColStride
-			nb := planeNeighborhood(pl, r, c)
-			dst[i] = q[i] - p.Compensate(q, nb)
-		}
-	}
+	p.ForwardRegion(q, dst, pl.Region(), 1, nil)
 }
 
 // Invert reverses Transform in place: q initially holds transformed
@@ -39,30 +47,5 @@ func (p *Predictor) Transform(dst, q []int32, pl Plane) {
 // with the recovered original symbols Q, in the same row-major order the
 // decompressor uses.
 func (p *Predictor) Invert(q []int32, pl Plane) {
-	for r := 0; r < pl.Rows; r++ {
-		for c := 0; c < pl.Cols; c++ {
-			i := pl.Origin + r*pl.RowStride + c*pl.ColStride
-			nb := planeNeighborhood(pl, r, c)
-			q[i] += p.Compensate(q, nb)
-		}
-	}
-}
-
-func planeNeighborhood(pl Plane, r, c int) Neighborhood {
-	nb := Neighborhood{
-		Level: pl.Level,
-		Left:  -1, Top: -1, TopLeft: -1,
-		Back: -1, BackLeft: -1, BackTop: -1, BackTopLeft: -1,
-	}
-	base := pl.Origin + r*pl.RowStride + c*pl.ColStride
-	if c > 0 {
-		nb.Left = base - pl.ColStride
-	}
-	if r > 0 {
-		nb.Top = base - pl.RowStride
-	}
-	if r > 0 && c > 0 {
-		nb.TopLeft = base - pl.RowStride - pl.ColStride
-	}
-	return nb
+	p.InverseRegion(q, pl.Region(), 1, nil)
 }

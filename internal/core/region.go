@@ -1,0 +1,135 @@
+package core
+
+// Region describes the geometry one QP sweep operates on: a rectangular
+// strided sub-lattice of the flat quantization index array, visited in
+// row-major order (axis 0 slowest, axis 3 fastest). Every walker in the
+// repository — the SZ3/QoZ interpolation pass, the HPEZ/MGARD parity
+// class, the Lorenzo scan and the characterization Plane — reduces to
+// this shape, which is what lets a single set of specialized kernels
+// (kernel.go) replace the per-point Neighborhood construction of the
+// reference Compensate path.
+//
+// The QP neighbor geometry is uniform: the Left/Top/Back neighbor of a
+// point is the previous lattice position along the designated axis (one
+// axis step back, i.e. at flat offset -Strd[axis]), and it exists exactly
+// when the point's position along that axis is >= 1. Corner neighbors
+// (TopLeft, Back*) are the evident combinations. Region validity is the
+// caller's contract: positions must be in bounds of the symbol slice and
+// distinct, which every walker above guarantees by construction.
+type Region struct {
+	// Base is the flat index of the region origin (all positions zero).
+	Base int
+	// Ext holds the per-axis lattice extents; unused axes have extent 1.
+	Ext [4]int
+	// Strd holds the per-axis flat strides (array elements per lattice
+	// step). The stride of an unused axis is ignored.
+	Strd [4]int
+	// Left, Top, Back name the axes carrying the QP neighbors, or -1 when
+	// the geometry has no such neighbor. The three must be distinct.
+	Left, Top, Back int
+	// Level is the interpolation level the region belongs to, checked
+	// against Config.MaxLevel exactly like Neighborhood.Level.
+	Level int
+}
+
+// Points returns the number of lattice points in the region.
+func (rg Region) Points() int {
+	return rg.Ext[0] * rg.Ext[1] * rg.Ext[2] * rg.Ext[3]
+}
+
+// neighborhood builds the reference Neighborhood of the point at the
+// given lattice position — the bridge between Region geometry and the
+// per-point Compensate path the kernels are differentially tested
+// against.
+func (rg Region) neighborhood(pos [4]int) (idx int, nb Neighborhood) {
+	idx = rg.Base
+	for a := 0; a < 4; a++ {
+		idx += pos[a] * rg.Strd[a]
+	}
+	nb = Neighborhood{
+		Level: rg.Level,
+		Left:  -1, Top: -1, TopLeft: -1,
+		Back: -1, BackLeft: -1, BackTop: -1, BackTopLeft: -1,
+	}
+	hasL := rg.Left >= 0 && pos[rg.Left] >= 1
+	hasT := rg.Top >= 0 && pos[rg.Top] >= 1
+	hasB := rg.Back >= 0 && pos[rg.Back] >= 1
+	if hasL {
+		nb.Left = idx - rg.Strd[rg.Left]
+	}
+	if hasT {
+		nb.Top = idx - rg.Strd[rg.Top]
+	}
+	if hasL && hasT {
+		nb.TopLeft = idx - rg.Strd[rg.Left] - rg.Strd[rg.Top]
+	}
+	if hasB {
+		nb.Back = idx - rg.Strd[rg.Back]
+		if hasL {
+			nb.BackLeft = nb.Back - rg.Strd[rg.Left]
+		}
+		if hasT {
+			nb.BackTop = nb.Back - rg.Strd[rg.Top]
+		}
+		if hasL && hasT {
+			nb.BackTopLeft = nb.Back - rg.Strd[rg.Left] - rg.Strd[rg.Top]
+		}
+	}
+	return idx, nb
+}
+
+// forEachPoint visits the region's points in row-major order with the
+// reference neighborhood.
+func (rg Region) forEachPoint(fn func(idx int, nb Neighborhood)) {
+	var pos [4]int
+	for pos[0] = 0; pos[0] < rg.Ext[0]; pos[0]++ {
+		for pos[1] = 0; pos[1] < rg.Ext[1]; pos[1]++ {
+			for pos[2] = 0; pos[2] < rg.Ext[2]; pos[2]++ {
+				for pos[3] = 0; pos[3] < rg.Ext[3]; pos[3]++ {
+					idx, nb := rg.neighborhood(pos)
+					fn(idx, nb)
+				}
+			}
+		}
+	}
+}
+
+// ForwardRegionRef is the reference forward sweep: the per-point
+// Compensate path over the region in row-major order, writing
+// qp[i] = q[i] - Compensate(q, nb). The kernelized ForwardRegion is
+// pinned against it by differential tests and fuzzing; it is not used on
+// hot paths.
+func (p *Predictor) ForwardRegionRef(q, qp []int32, rg Region) {
+	rg.forEachPoint(func(idx int, nb Neighborhood) {
+		qp[idx] = q[idx] - p.Compensate(q, nb)
+	})
+}
+
+// InverseRegionRef is the reference inverse sweep: enc[i] += Compensate
+// in row-major order, the exact decompressor visit order.
+func (p *Predictor) InverseRegionRef(enc []int32, rg Region) {
+	rg.forEachPoint(func(idx int, nb Neighborhood) {
+		enc[idx] += p.Compensate(enc, nb)
+	})
+}
+
+// RegionCount returns how many region points of a currently hold symbol
+// sym — used by the MGARD decoder to index the literal stream per level
+// after the inverse QP sweep.
+func RegionCount(a []int32, rg Region, sym int32) int {
+	n := 0
+	for p0 := 0; p0 < rg.Ext[0]; p0++ {
+		for p1 := 0; p1 < rg.Ext[1]; p1++ {
+			for p2 := 0; p2 < rg.Ext[2]; p2++ {
+				i := rg.Base + p0*rg.Strd[0] + p1*rg.Strd[1] + p2*rg.Strd[2]
+				for p3 := 0; p3 < rg.Ext[3]; p3++ {
+					if a[i] == sym {
+						n++
+					}
+					i += rg.Strd[3]
+				}
+			}
+		}
+	}
+	return n
+}

@@ -7,6 +7,7 @@ import (
 	"scdc/internal/grid"
 	"scdc/internal/interp"
 	"scdc/internal/lattice"
+	"scdc/internal/obs"
 	"scdc/internal/quantizer"
 )
 
@@ -82,13 +83,21 @@ func predict(data []float64, dims, strides []int, pl *plan, pt *lattice.Point) f
 }
 
 // compressCore runs the HPEZ pipeline with a resolved plan; data is
-// overwritten with decompressed values.
-func compressCore(data []float64, dims []int, pl plan, q, qp []int32, pred *core.Predictor) (anchors, literals []float64) {
+// overwritten with decompressed values. The QP transform runs as a
+// kernelized per-class region sweep after each level's quantization walk
+// — every QP neighbor of a class point lies in the same class, earlier
+// in walk order, and the forward sweep reads only original symbols, so
+// the output is byte-identical to the point-fused order. qpSp, when
+// non-nil, accumulates the QP share of the interp wall time.
+func compressCore(data []float64, dims []int, pl plan, q, qp []int32,
+	pred *core.Predictor, workers int, qpSp *obs.Span) (anchors, literals []float64) {
+
 	strides := grid.Strides(dims)
 	quants := make([]quantizer.Linear, pl.levels+1)
 	for l := 1; l <= pl.levels; l++ {
 		quants[l] = quantizer.Linear{EB: pl.ebs[l-1], Radius: pl.radius}
 	}
+	qpWsp := core.WorkerSpans(qpSp, workers)
 
 	center := pl.radius
 	forEachAnchor(dims, pl.levels, func(idx int) {
@@ -109,16 +118,26 @@ func compressCore(data []float64, dims []int, pl plan, q, qp []int32, pred *core
 				literals = append(literals, data[pt.Idx])
 			}
 			data[pt.Idx] = dec
-			if qp != nil {
-				qp[pt.Idx] = q[pt.Idx] - pred.Compensate(q, pt.NB)
-			}
 		})
+		if qp != nil {
+			t0 := qpSp.Begin()
+			for _, rg := range lattice.ClassRegions(dims, strides, level) {
+				pred.ForwardRegion(q, qp, rg, workers, qpWsp)
+			}
+			qpSp.AddSince(t0)
+		}
 	}
 	return anchors, literals
 }
 
-// decompressCore reverses compressCore.
-func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, literals []float64, pred *core.Predictor) error {
+// decompressCore reverses compressCore: each level first recovers its
+// original symbols with the kernelized inverse QP sweep per class (the
+// inverse reads only same-class symbols, all already recovered by the
+// sweep's own order), then reconstructs values in walk order with the
+// literal stream consumed exactly as the compressor appended it.
+func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, literals []float64,
+	pred *core.Predictor, workers int, qpSp *obs.Span) error {
+
 	strides := grid.Strides(dims)
 	//scdclint:ignore alloccap -- pl.levels is bounded (<= 62) by decodePlan before decompressCore runs
 	quants := make([]quantizer.Linear, pl.levels+1)
@@ -149,18 +168,20 @@ func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, l
 	}
 
 	lit := 0
+	qpWsp := core.WorkerSpans(qpSp, workers)
 	for level := pl.levels; level >= 1; level-- {
+		if pred != nil {
+			t0 := qpSp.Begin()
+			for _, rg := range lattice.ClassRegions(dims, strides, level) {
+				pred.InverseRegion(enc, rg, workers, qpWsp)
+			}
+			qpSp.AddSince(t0)
+		}
 		lattice.WalkClasses(dims, strides, level, func(pt *lattice.Point) {
 			if decErr != nil {
 				return
 			}
-			p := predict(data, dims, strides, &pl, pt)
-			var c int32
-			if pred != nil {
-				c = pred.Compensate(enc, pt.NB)
-			}
-			sym := enc[pt.Idx] + c
-			enc[pt.Idx] = sym
+			sym := enc[pt.Idx]
 			if sym == quantizer.Unpredictable {
 				if lit >= len(literals) {
 					decErr = fmt.Errorf("%w: literal stream exhausted", ErrCorrupt)
@@ -170,6 +191,7 @@ func decompressCore(data []float64, dims []int, pl plan, enc []int32, anchors, l
 				lit++
 				return
 			}
+			p := predict(data, dims, strides, &pl, pt)
 			data[pt.Idx] = quants[pt.Level].Recover(p, sym)
 		})
 	}

@@ -182,11 +182,16 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		defer quantizer.PutIndexBuf(qp)
 	}
 
-	// The HPEZ walker fuses interpolation, quantization and QP into one
-	// sequential multi-axis sweep, so a single wall-clock span covers it;
-	// the "quantize" and "qp" children carry the outcome counters.
+	// The "interp" wall-clock span covers the whole multi-axis sweep; the
+	// accumulating "qp" child carries the kernelized per-class QP sweeps'
+	// share of it (with per-worker children when parallel), and "quantize"
+	// carries the outcome counters.
 	interpSp := opts.Obs.Child("interp")
-	anchors, literals := compressCore(data, f.Dims(), pl, q, qp, pred)
+	var qpSp *obs.Span
+	if pred != nil {
+		qpSp = opts.Obs.ChildAccum("qp")
+	}
+	anchors, literals := compressCore(data, f.Dims(), pl, q, qp, pred, opts.Workers, qpSp)
 	interpSp.Add("points", int64(len(data)))
 	interpSp.End()
 	quantSp := opts.Obs.Child("quantize")
@@ -195,9 +200,7 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	quantSp.Add("anchors", int64(len(anchors)))
 	quantSp.End()
 	if pred != nil {
-		qpSp := opts.Obs.Child("qp")
 		qpSp.Add("compensated", int64(pred.Compensated))
-		qpSp.End()
 	}
 
 	if opts.Trace != nil {
@@ -391,11 +394,18 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 		}
 	}
 	interpSp := sp.Child("interp")
-	err = decompressCore(out.Data, dims, pl, enc, anchors, literals, pred)
+	var qpSp *obs.Span
+	if pred != nil {
+		qpSp = sp.ChildAccum("qp")
+	}
+	err = decompressCore(out.Data, dims, pl, enc, anchors, literals, pred, workers, qpSp)
 	interpSp.Add("points", int64(n))
 	interpSp.End()
 	if err != nil {
 		return nil, err
+	}
+	if pred != nil {
+		qpSp.Add("compensated", int64(pred.Compensated))
 	}
 	return out, nil
 }

@@ -421,7 +421,7 @@ func tuneEB(f *grid.Field, pl plan, opts Options) (alpha, beta float64) {
 		}
 		data := append([]float64(nil), crop.Data...)
 		q := make([]int32, len(data))
-		_, literals := compressCore(data, crop.Dims(), trial, q, nil, nil)
+		_, literals := compressCore(data, crop.Dims(), trial, q, nil, nil, 1, nil)
 		bits := len(huffman.Encode(q)) + 8*len(literals)
 		if bits < bestBits {
 			bestBits = bits

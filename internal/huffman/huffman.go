@@ -304,9 +304,18 @@ type fastEnt struct {
 	len uint8
 }
 
+// fastTab is a pooled one-lookup decode table. Canonical codes fill the
+// table as one contiguous prefix starting at slot 0 (each code's span
+// begins where the previous span ends), so touched records the prefix
+// high-water mark and reuse clears only that prefix instead of all
+// 1<<fastBits entries.
+type fastTab struct {
+	ents    []fastEnt
+	touched int // entries [0,touched) were written since the last clear
+}
+
 var fastPool = sync.Pool{New: func() any {
-	s := make([]fastEnt, 1<<fastBits)
-	return &s
+	return &fastTab{ents: make([]fastEnt, 1<<fastBits)}
 }}
 
 // parseTableHeader parses the canonical table header (after the sample
@@ -357,16 +366,17 @@ func parseTableHeader(hdr []byte) (syms []int32, lengths []int, err error) {
 type decoder struct {
 	syms   []int32
 	tables [maxCodeLen + 1]decTable
-	fast   []fastEnt // pooled; release() returns it
+	fast   *fastTab // pooled; release() returns it
 }
 
 // newDecoder builds per-length canonical tables plus the table-driven fast
 // path for codes up to fastBits long.
 func newDecoder(syms []int32, lengths []int) *decoder {
 	d := &decoder{syms: syms}
-	p := fastPool.Get().(*[]fastEnt)
-	d.fast = *p
-	clear(d.fast)
+	ft := fastPool.Get().(*fastTab)
+	clear(ft.ents[:ft.touched])
+	ft.touched = 0
+	d.fast = ft
 	var code uint64
 	prevLen := 0
 	for i := range syms {
@@ -383,8 +393,9 @@ func newDecoder(syms []int32, lengths []int) *decoder {
 			base := code << uint(fastBits-l)
 			span := uint64(1) << uint(fastBits-l)
 			for j := base; j < base+span; j++ {
-				d.fast[j] = fastEnt{syms[i], uint8(l)}
+				ft.ents[j] = fastEnt{syms[i], uint8(l)}
 			}
+			ft.touched = int(base + span)
 		}
 		prevLen = l
 	}
@@ -396,42 +407,81 @@ func newDecoder(syms []int32, lengths []int) *decoder {
 func (d *decoder) release() {
 	fast := d.fast
 	d.fast = nil
-	fastPool.Put(&fast)
+	fastPool.Put(fast)
 }
 
 // decodeBody decodes exactly len(out) symbols from body into out. It is
 // safe to call concurrently on one decoder with distinct bodies/outputs.
 func (d *decoder) decodeBody(body []byte, out []int32) error {
 	r := bitstream.NewReader(body)
+	ents := d.fast.ents
 	for i := range out {
-		if e := d.fast[r.PeekBits(fastBits)]; e.len != 0 {
+		if e := ents[r.PeekBits(fastBits)]; e.len != 0 {
 			if err := r.Skip(uint(e.len)); err != nil {
 				return fmt.Errorf("%w: truncated body", ErrCorrupt)
 			}
 			out[i] = e.sym
 			continue
 		}
-		// Slow path: codes longer than fastBits.
-		var v uint64
-		l := 0
-		for {
-			b, err := r.ReadBit()
-			if err != nil {
-				return fmt.Errorf("%w: truncated body", ErrCorrupt)
-			}
-			v = v<<1 | uint64(b)
-			l++
-			if l > maxCodeLen {
-				return fmt.Errorf("%w: code overflow", ErrCorrupt)
-			}
-			t := d.tables[l]
-			if t.count > 0 && v >= t.firstCode && v < t.firstCode+uint64(t.count) {
-				out[i] = d.syms[t.firstIdx+int(v-t.firstCode)]
-				break
-			}
+		sym, err := d.decodeSlow(r)
+		if err != nil {
+			return err
 		}
+		out[i] = sym
 	}
 	return nil
+}
+
+// decodeSlowPeek is the slow-path peek window: one peek feeds the
+// canonical range check of every length the window covers.
+const decodeSlowPeek = 32
+
+// decodeSlow resolves one code longer than fastBits. A single wide peek
+// replaces the former bit-at-a-time scan: for each candidate length the
+// code value is the peek's top bits, checked against that length's
+// canonical range. Only codes longer than the peek window — which require
+// ~Fibonacci(33) skewed symbol counts to exist at all — fall back to
+// per-bit scanning.
+func (d *decoder) decodeSlow(r *bitstream.Reader) (int32, error) {
+	vp := r.PeekBits(decodeSlowPeek)
+	for l := fastBits + 1; l <= decodeSlowPeek; l++ {
+		t := d.tables[l]
+		if t.count == 0 {
+			continue
+		}
+		v := vp >> uint(decodeSlowPeek-l)
+		if v >= t.firstCode && v < t.firstCode+uint64(t.count) {
+			if err := r.Skip(uint(l)); err != nil {
+				return 0, fmt.Errorf("%w: truncated body", ErrCorrupt)
+			}
+			return d.syms[t.firstIdx+int(v-t.firstCode)], nil
+		}
+	}
+	// PeekBits zero-pads past the end of the stream, so any match above
+	// that used padding was rejected by Skip exactly where the per-bit
+	// scan would have hit ErrShortStream. Lengths within the window that
+	// found no match here cannot match below either (same bits, same
+	// ranges), so the scan only tests lengths beyond the window.
+	var v uint64
+	l := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, fmt.Errorf("%w: truncated body", ErrCorrupt)
+		}
+		v = v<<1 | uint64(b)
+		l++
+		if l > maxCodeLen {
+			return 0, fmt.Errorf("%w: code overflow", ErrCorrupt)
+		}
+		if l <= decodeSlowPeek {
+			continue
+		}
+		t := d.tables[l]
+		if t.count > 0 && v >= t.firstCode && v < t.firstCode+uint64(t.count) {
+			return d.syms[t.firstIdx+int(v-t.firstCode)], nil
+		}
+	}
 }
 
 // Decode reverses Encode (and decodes sharded streams sequentially).

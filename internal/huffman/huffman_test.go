@@ -117,3 +117,45 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSlowPathLongCodes forces every code past fastBits: a uniform stream
+// over >2^13 distinct symbols yields only 13+-bit codes, so the decoder
+// resolves every symbol through the peek-based slow path.
+func TestSlowPathLongCodes(t *testing.T) {
+	q := make([]int32, 20000)
+	for i := range q {
+		q[i] = int32(i)
+	}
+	roundTrip(t, q)
+}
+
+// TestFastTableReuseCleared: the pooled fast table is cleared only over
+// its touched prefix on reuse. Decode a stream whose table fills most of
+// the fast table, then a crafted stream whose 1-bit code leaves the upper
+// half untouched and whose body starts with a 1 bit: the lookup must miss
+// (slot zero), fall to the slow path, and report corruption — a stale
+// entry from the previous decode would instead return a bogus symbol.
+func TestFastTableReuseCleared(t *testing.T) {
+	wide := make([]int32, 1<<13)
+	for i := range wide {
+		wide[i] = int32(i)
+	}
+	roundTrip(t, wide) // poison the pooled table across its full span
+
+	hdr := []byte{1, 1}      // nsamp=1, table size 1
+	hdr = append(hdr, 10, 1) // symbol delta zigzag(5)=10, code length 1
+	var data []byte
+	data = append(data, byte(len(hdr)))
+	data = append(data, hdr...)
+	data = append(data, 0x80) // body: first bit 1, not a valid code
+	if _, err := Decode(data); err == nil {
+		t.Fatal("stream with unassigned 1-prefix decoded without error")
+	}
+
+	// And the matching valid stream (first bit 0) still decodes.
+	data[len(data)-1] = 0x00
+	dec, err := Decode(data)
+	if err != nil || len(dec) != 1 || dec[0] != 5 {
+		t.Fatalf("valid crafted stream: dec=%v err=%v", dec, err)
+	}
+}

@@ -31,35 +31,74 @@ type Point struct {
 // Classes with equal popcount are ordered by ascending mask for
 // determinism.
 func WalkClasses(dims, strides []int, level int, fn func(pt *Point)) {
-	nd := len(dims)
 	s := 1 << (level - 1)
-	nClasses := 1 << nd
-
-	// Order masks by (popcount, mask).
-	order := make([]uint, 0, nClasses-1)
-	for pc := 1; pc <= nd; pc++ {
-		for m := uint(1); m < uint(nClasses); m++ {
-			if bits.OnesCount(m) == pc {
-				order = append(order, m)
-			}
-		}
-	}
-
 	var pt Point
-	for _, mask := range order {
-		// Skip classes whose odd axes cannot host odd multiples of s.
-		ok := true
-		for d := 0; d < nd; d++ {
-			if mask&(1<<uint(d)) != 0 && s >= dims[d] {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
+	for _, mask := range classOrder(dims, s) {
 		walkClass(dims, strides, level, s, mask, &pt, fn)
 	}
+}
+
+// classOrder returns the level's class masks in WalkClasses order —
+// ascending (popcount, mask) — skipping classes whose odd axes cannot
+// host odd multiples of s.
+func classOrder(dims []int, s int) []uint {
+	nd := len(dims)
+	nClasses := 1 << nd
+	order := make([]uint, 0, nClasses-1)
+	for pc := 1; pc <= nd; pc++ {
+	masks:
+		for m := uint(1); m < uint(nClasses); m++ {
+			if bits.OnesCount(m) != pc {
+				continue
+			}
+			for d := 0; d < nd; d++ {
+				if m&(1<<uint(d)) != 0 && s >= dims[d] {
+					continue masks
+				}
+			}
+			order = append(order, m)
+		}
+	}
+	return order
+}
+
+// ClassRegion maps one parity class of one level onto the core.Region
+// the kernelized QP sweeps operate on. Within a class the lattice
+// spacing is 2s along every axis (start s on odd axes, 0 on even ones),
+// and region row-major order is exactly walkClass's visit order, so
+// kernel sweeps replay the reference order. All QP neighbors of a class
+// point belong to the same class.
+func ClassRegion(dims, strides []int, level int, mask uint) core.Region {
+	nd := len(dims)
+	s := 1 << (level - 1)
+	leftAx, topAx, primAx := QPPlaneAxes(nd, mask)
+	rg := core.Region{Left: leftAx, Top: topAx, Back: primAx, Level: level}
+	for d := 0; d < 4; d++ {
+		if d >= nd {
+			rg.Ext[d] = 1
+			continue
+		}
+		start := 0
+		if mask&(1<<uint(d)) != 0 {
+			start = s
+		}
+		rg.Base += start * strides[d]
+		rg.Ext[d] = (dims[d] - start + 2*s - 1) / (2 * s)
+		rg.Strd[d] = 2 * s * strides[d]
+	}
+	return rg
+}
+
+// ClassRegions enumerates one level's class regions in WalkClasses
+// order, for engines that sweep QP per class with the kernel engine.
+func ClassRegions(dims, strides []int, level int) []core.Region {
+	s := 1 << (level - 1)
+	masks := classOrder(dims, s)
+	regs := make([]core.Region, len(masks))
+	for i, m := range masks {
+		regs[i] = ClassRegion(dims, strides, level, m)
+	}
+	return regs
 }
 
 // QPPlaneAxes returns the two axes spanning the QP plane for a class: the

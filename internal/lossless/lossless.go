@@ -89,7 +89,7 @@ func Compress(c Codec, src []byte) ([]byte, error) {
 	case LZ:
 		return append(hdr, lzCompress(src)...), nil
 	case Range:
-		return append(hdr, rangeCompress(src)...), nil
+		return rangeCompressTo(hdr, src), nil
 	default:
 		return nil, fmt.Errorf("lossless: unknown codec %d", c)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 )
 
 // Adaptive order-0 binary range coder (the LZMA rc formulation), the
@@ -27,14 +28,6 @@ type rangeEncoder struct {
 	cacheSize int64
 	out       []byte
 	probs     [256]uint16
-}
-
-func newRangeEncoder() *rangeEncoder {
-	e := &rangeEncoder{rng: 0xFFFFFFFF, cacheSize: 1}
-	for i := range e.probs {
-		e.probs[i] = rcProbInit
-	}
-	return e
 }
 
 func (e *rangeEncoder) shiftLow() {
@@ -145,18 +138,49 @@ func (d *rangeDecoder) decodeByte() byte {
 	return byte(node & 0xFF)
 }
 
-// rangeCompress encodes src with the adaptive byte model, appending a
-// CRC-32 of the plaintext so truncation and corruption are detectable
-// (a pure range stream decodes garbage silently otherwise).
-func rangeCompress(src []byte) []byte {
-	e := newRangeEncoder()
+// rangeEncPool recycles encoders across calls: the 256-entry probability
+// model and the output buffer are the stage's only allocations, and both
+// reset cheaply.
+var rangeEncPool = sync.Pool{New: func() any { return new(rangeEncoder) }}
+
+// reset restores the pooled encoder to its initial coding state with an
+// output buffer of at least capHint capacity. The adaptive model rarely
+// beats ~0.18 bits/byte even on degenerate input, so len(src)+16 covers
+// the stream plus the 5-byte flush tail without regrowth in practice.
+func (e *rangeEncoder) reset(capHint int) {
+	e.low, e.cache = 0, 0
+	e.rng, e.cacheSize = 0xFFFFFFFF, 1
+	if cap(e.out) < capHint {
+		e.out = make([]byte, 0, capHint)
+	} else {
+		e.out = e.out[:0]
+	}
+	for i := range e.probs {
+		e.probs[i] = rcProbInit
+	}
+}
+
+// rangeCompressTo encodes src with the adaptive byte model, appending the
+// stream to dst, followed by a CRC-32 of the plaintext so truncation and
+// corruption are detectable (a pure range stream decodes garbage silently
+// otherwise). The encoder and its buffer come from a pool; the stream is
+// copied into dst before release.
+func rangeCompressTo(dst, src []byte) []byte {
+	e := rangeEncPool.Get().(*rangeEncoder)
+	defer rangeEncPool.Put(e)
+	e.reset(len(src) + 16)
 	for _, b := range src {
 		e.encodeByte(b)
 	}
-	out := e.finish()
+	dst = append(dst, e.finish()...)
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(src))
-	return append(out, crc[:]...)
+	return append(dst, crc[:]...)
+}
+
+// rangeCompress is rangeCompressTo into a fresh, right-sized buffer.
+func rangeCompress(src []byte) []byte {
+	return rangeCompressTo(make([]byte, 0, len(src)+20), src)
 }
 
 // rangeMaxExpansion bounds the plaintext-to-stream ratio a valid range

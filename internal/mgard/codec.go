@@ -6,6 +6,7 @@ import (
 	"scdc/internal/core"
 	"scdc/internal/grid"
 	"scdc/internal/lattice"
+	"scdc/internal/obs"
 	"scdc/internal/quantizer"
 )
 
@@ -66,11 +67,12 @@ func forEachCoarse(dims []int, levels int, fn func(idx int)) {
 // positions hold the corrected coarse approximation, which is returned as
 // the raw coarse stream.
 func compressCore(data []float64, dims []int, opts Options, levels int,
-	q, qp []int32, pred *core.Predictor) (coarse, literals []float64) {
+	q, qp []int32, pred *core.Predictor, workers int, qpSp *obs.Span) (coarse, literals []float64) {
 
 	strides := grid.Strides(dims)
 	ebl := levelBound(opts.ErrorBound, levels)
 	quant := quantizer.Linear{EB: ebl, Radius: opts.Radius}
+	qpWsp := core.WorkerSpans(qpSp, workers)
 
 	for level := 1; level <= levels; level++ {
 		// Pass 1: quantize detail coefficients against the multilinear
@@ -83,10 +85,17 @@ func compressCore(data []float64, dims []int, opts Options, levels int,
 				literals = append(literals, data[pt.Idx])
 			}
 			data[pt.Idx] = dec
-			if qp != nil {
-				qp[pt.Idx] = q[pt.Idx] - pred.Compensate(q, pt.NB)
-			}
 		})
+		// Kernelized QP sweep per class: every QP neighbor of a class
+		// point is in the same class, so sweeping after the level's
+		// quantization walk is byte-identical to the point-fused order.
+		if qp != nil {
+			t0 := qpSp.Begin()
+			for _, rg := range lattice.ClassRegions(dims, strides, level) {
+				pred.ForwardRegion(q, qp, rg, workers, qpWsp)
+			}
+			qpSp.AddSince(t0)
+		}
 		// Pass 2: add the L2 projection correction, computed from the
 		// quantized details, to the coarse nodal values.
 		applyCorrection(data, dims, strides, level, quant, q, +1)
@@ -105,7 +114,7 @@ func compressCore(data []float64, dims []int, opts Options, levels int,
 // decompressCore reverses compressCore, coarse-to-fine. enc is overwritten
 // in place with recovered original symbols.
 func decompressCore(data []float64, dims []int, eb float64, levels int, radius int32,
-	enc []int32, coarse, literals []float64, pred *core.Predictor) error {
+	enc []int32, coarse, literals []float64, pred *core.Predictor, workers int, qpSp *obs.Span) error {
 
 	strides := grid.Strides(dims)
 	ebl := levelBound(eb, levels)
@@ -134,7 +143,7 @@ func decompressCore(data []float64, dims []int, eb float64, levels int, radius i
 
 	// The literal stream was appended fine-to-coarse during compression;
 	// levels are decoded coarse-to-fine here, so index literals per level.
-	litOffsets, err := literalOffsets(dims, strides, levels, enc, pred, len(literals))
+	litOffsets, err := literalOffsets(dims, strides, levels, enc, pred, len(literals), workers, qpSp)
 	if err != nil {
 		return err
 	}
@@ -171,25 +180,27 @@ func decompressCore(data []float64, dims []int, eb float64, levels int, radius i
 }
 
 // literalOffsets replays the compression-side symbol order (fine-to-coarse
-// class walks) to (a) invert QP on the symbol array in the exact order the
-// compressor applied it and (b) compute, per level, the starting offset
-// into the literal stream.
-func literalOffsets(dims, strides []int, levels int, enc []int32, pred *core.Predictor, nlit int) ([]int, error) {
+// class walks) to (a) invert QP on the symbol array with the kernelized
+// per-class sweeps — identical to the per-point order because all QP
+// neighbors of a class point lie in the same class — and (b) compute, per
+// level, the starting offset into the literal stream by counting the
+// recovered unpredictable markers.
+func literalOffsets(dims, strides []int, levels int, enc []int32, pred *core.Predictor,
+	nlit, workers int, qpSp *obs.Span) ([]int, error) {
+
+	qpWsp := core.WorkerSpans(qpSp, workers)
 	offsets := make([]int, levels)
 	lit := 0
 	for level := 1; level <= levels; level++ {
 		offsets[level-1] = lit
-		lattice.WalkClasses(dims, strides, level, func(pt *lattice.Point) {
-			var c int32
+		t0 := qpSp.Begin()
+		for _, rg := range lattice.ClassRegions(dims, strides, level) {
 			if pred != nil {
-				c = pred.Compensate(enc, pt.NB)
+				pred.InverseRegion(enc, rg, workers, qpWsp)
 			}
-			sym := enc[pt.Idx] + c
-			enc[pt.Idx] = sym
-			if sym == quantizer.Unpredictable {
-				lit++
-			}
-		})
+			lit += core.RegionCount(enc, rg, quantizer.Unpredictable)
+		}
+		qpSp.AddSince(t0)
 	}
 	if lit != nlit {
 		return nil, fmt.Errorf("%w: literal count mismatch: walked %d, stream has %d", ErrCorrupt, lit, nlit)

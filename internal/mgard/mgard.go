@@ -141,11 +141,16 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		qp = make([]int32, len(data))
 	}
 
-	// The MGARD decomposition fuses projection, detail quantization and QP
-	// into one sequential sweep; one wall-clock span covers it and the
-	// "quantize"/"qp" children carry the outcome counters.
+	// The "interp" wall-clock span covers the whole decomposition; the
+	// accumulating "qp" child carries the kernelized per-class QP sweeps'
+	// share of it (with per-worker children when parallel), and "quantize"
+	// carries the outcome counters.
 	interpSp := opts.Obs.Child("interp")
-	coarse, literals := compressCore(data, f.Dims(), opts, levels, q, qp, pred)
+	var qpSp *obs.Span
+	if pred != nil {
+		qpSp = opts.Obs.ChildAccum("qp")
+	}
+	coarse, literals := compressCore(data, f.Dims(), opts, levels, q, qp, pred, opts.Workers, qpSp)
 	interpSp.Add("points", int64(len(data)))
 	interpSp.End()
 	quantSp := opts.Obs.Child("quantize")
@@ -154,9 +159,7 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	quantSp.Add("coarse", int64(len(coarse)))
 	quantSp.End()
 	if pred != nil {
-		qpSp := opts.Obs.Child("qp")
 		qpSp.Add("compensated", int64(pred.Compensated))
-		qpSp.End()
 	}
 
 	if opts.Trace != nil {
@@ -312,11 +315,18 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 		}
 	}
 	interpSp := sp.Child("interp")
-	err = decompressCore(out.Data, dims, eb, int(levels), int32(radius), enc, coarse, literals, pred)
+	var qpSp *obs.Span
+	if pred != nil {
+		qpSp = sp.ChildAccum("qp")
+	}
+	err = decompressCore(out.Data, dims, eb, int(levels), int32(radius), enc, coarse, literals, pred, workers, qpSp)
 	interpSp.Add("points", int64(n))
 	interpSp.End()
 	if err != nil {
 		return nil, err
+	}
+	if pred != nil {
+		qpSp.Add("compensated", int64(pred.Compensated))
 	}
 	return out, nil
 }

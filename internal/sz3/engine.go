@@ -21,12 +21,15 @@ import (
 // be split across workers at line granularity and still produce the exact
 // floating-point results of the sequential sweep.
 //
-// The QP index transform is the one stage with intra-pass coupling: the
-// Left/Top neighbors of a point belong to other lines of the same pass.
-// It is therefore run as a separate sequential sweep over the index array
-// after each pass (compression) or before it (decompression) — integer
-// work with no interpolation, a small fraction of pass cost — preserving
-// QP's bit-exact reversibility contract.
+// The QP index transform has intra-pass coupling (the Left/Top neighbors
+// of a point belong to other lines of the same pass), so it runs as a
+// separate sweep over the index array after each pass (compression) or
+// before it (decompression). The sweep itself is the kernelized region
+// engine of internal/core (DESIGN.md §11): each pass maps onto a
+// core.Region via (*pass).qpRegion, the forward direction splits across
+// workers freely (it reads only original symbols), and the inverse
+// direction plane-parallelizes for modes without a Back dependency —
+// all bit-identical to the sequential per-point Compensate order.
 
 // minParallelPoints is the smallest pass size (in predicted points) worth
 // fanning out; below it the goroutine handoff costs more than the work.
@@ -63,6 +66,7 @@ func CompressSchedule(data []float64, dims []int, levels, workers int,
 			qpSp = sp.ChildAccum("qp")
 		}
 	}
+	qpWsp := core.WorkerSpans(qpSp, workers)
 	strides := grid.Strides(dims)
 	for level := levels; level >= 1; level-- {
 		lsp := specFor(level)
@@ -72,7 +76,7 @@ func CompressSchedule(data []float64, dims []int, levels, workers int,
 			interpSp.AddSince(t0)
 			if qp != nil {
 				t1 := qpSp.Begin()
-				qpForwardPass(pa, q, qp, pred)
+				pred.ForwardRegion(q, qp, pa.qpRegion(), workers, qpWsp)
 				qpSp.AddSince(t1)
 			}
 		})
@@ -98,6 +102,7 @@ func DecompressSchedule(data []float64, dims []int, levels, workers int,
 			qpSp = sp.ChildAccum("qp")
 		}
 	}
+	qpWsp := core.WorkerSpans(qpSp, workers)
 	strides := grid.Strides(dims)
 	lit := lit0
 	var decErr error
@@ -109,7 +114,7 @@ func DecompressSchedule(data []float64, dims []int, levels, workers int,
 			}
 			if pred != nil {
 				t0 := qpSp.Begin()
-				qpInversePass(pa, enc, pred)
+				pred.InverseRegion(enc, pa.qpRegion(), workers, qpWsp)
 				qpSp.AddSince(t0)
 			}
 			t1 := interpSp.Begin()
@@ -214,54 +219,6 @@ func compressPass(data []float64, q []int32, pa *pass,
 	}
 	passSp.End()
 	return literals
-}
-
-// qpForwardPass applies the compression-side QP transform to one pass:
-// qp[i] = q[i] - Compensate(q, nb). It reads only original symbols (all
-// written by compressPass), so running it after the pass is equivalent to
-// the interleaved sequential order.
-func qpForwardPass(pa *pass, q, qp []int32, pred *core.Predictor) {
-	if pred.Cfg.MaxLevel > 0 && pa.level > pred.Cfg.MaxLevel {
-		// Compensation is identically zero above MaxLevel; copy symbols.
-		copyPassSymbols(pa, q, qp)
-		return
-	}
-	var pt Point
-	for li := 0; li < pa.numLines; li++ {
-		base, hasLeft, hasTop := pa.line(li)
-		walkLinePoints(pa, base, hasLeft, hasTop, &pt, func(pt *Point) {
-			qp[pt.Idx] = q[pt.Idx] - pred.Compensate(q, pt.NB)
-		})
-	}
-}
-
-// qpInversePass recovers original symbols in place for one pass:
-// enc[i] += Compensate(enc, nb). The sweep runs in visit order so every
-// neighbor it reads has already been recovered (earlier lines of this
-// pass, or earlier passes).
-func qpInversePass(pa *pass, enc []int32, pred *core.Predictor) {
-	if pred.Cfg.MaxLevel > 0 && pa.level > pred.Cfg.MaxLevel {
-		return // compensation is identically zero: enc already holds Q
-	}
-	var pt Point
-	for li := 0; li < pa.numLines; li++ {
-		base, hasLeft, hasTop := pa.line(li)
-		walkLinePoints(pa, base, hasLeft, hasTop, &pt, func(pt *Point) {
-			enc[pt.Idx] += pred.Compensate(enc, pt.NB)
-		})
-	}
-}
-
-// copyPassSymbols sets qp[i] = q[i] for every point of the pass.
-func copyPassSymbols(pa *pass, q, qp []int32) {
-	s, n, dstr := pa.s, pa.n, pa.dstr
-	for li := 0; li < pa.numLines; li++ {
-		base, _, _ := pa.line(li)
-		for t := s; t < n; t += 2 * s {
-			idx := base + t*dstr
-			qp[idx] = q[idx]
-		}
-	}
 }
 
 // decompressLine reconstructs every predicted point of one line from

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scdc/internal/core"
+	"scdc/internal/obs"
 
 	"scdc/internal/predictor"
 	"scdc/internal/quantizer"
@@ -26,52 +27,19 @@ func view3(dims []int) (blocks, nx, ny, nz int) {
 	}
 }
 
-// lorenzoNeighborhood builds the QP neighborhood for a scan-order point:
-// left/top are the previous points along the two fastest axes (a stride-1
-// plane), back is the previous plane. This is the "generalized design for
-// compressors besides interpolation-based ones" the paper lists as future
-// work (Section VII); the scan-order geometry replaces the level-wise
-// plane geometry.
-func lorenzoNeighborhood(idx, i, j, k, ny, nz int) core.Neighborhood {
-	nb := core.Neighborhood{
-		Level: 1,
-		Left:  -1, Top: -1, TopLeft: -1,
-		Back: -1, BackLeft: -1, BackTop: -1, BackTopLeft: -1,
-	}
-	if k > 0 {
-		nb.Left = idx - 1
-	}
-	if j > 0 {
-		nb.Top = idx - nz
-	}
-	if j > 0 && k > 0 {
-		nb.TopLeft = idx - nz - 1
-	}
-	if i > 0 {
-		nb.Back = idx - ny*nz
-		if k > 0 {
-			nb.BackLeft = nb.Back - 1
-		}
-		if j > 0 {
-			nb.BackTop = nb.Back - nz
-		}
-		if j > 0 && k > 0 {
-			nb.BackTopLeft = nb.Back - nz - 1
-		}
-	}
-	return nb
-}
-
 // compressLorenzo runs the 3D Lorenzo fallback pipeline: scan in natural
 // order, predict from the seven processed neighbors (decompressed values),
 // quantize. The paper's QP is not applied in this mode (Lorenzo residual
 // indices do not show the clustering effect, Section VI-B); the optional
 // qp/pred arguments implement the paper's future-work extension of QP to
 // non-interpolation pipelines, protected by the adaptive fallback.
-func compressLorenzo(data []float64, dims []int, quant quantizer.Linear, q, qp []int32, pred *core.Predictor) []float64 {
+func compressLorenzo(data []float64, dims []int, quant quantizer.Linear, q, qp []int32,
+	pred *core.Predictor, workers int, qpSp *obs.Span) []float64 {
+
 	var literals []float64
 	blocks, nx, ny, nz := view3(dims)
 	bsz := nx * ny * nz
+	qpWsp := core.WorkerSpans(qpSp, workers)
 	for b := 0; b < blocks; b++ {
 		f := predictor.Field3{Data: data[b*bsz : (b+1)*bsz], Nx: nx, Ny: ny, Nz: nz}
 		idx := b * bsz
@@ -85,24 +53,53 @@ func compressLorenzo(data []float64, dims []int, quant quantizer.Linear, q, qp [
 						literals = append(literals, data[idx])
 					}
 					data[idx] = dec
-					if qp != nil {
-						qp[idx] = q[idx] - pred.Compensate(q, lorenzoNeighborhood(idx, i, j, k, ny, nz))
-					}
 					idx++
 				}
 			}
+		}
+		if qp != nil {
+			t0 := qpSp.Begin()
+			pred.ForwardRegion(q, qp, lorenzoRegion(b*bsz, nx, ny, nz), workers, qpWsp)
+			qpSp.AddSince(t0)
 		}
 	}
 	return literals
 }
 
+// lorenzoRegion maps one scan-order block onto the kernel engine's
+// geometry: contiguous row-major axes with Left/Top/Back on the three
+// fastest strides, so left/top are the previous points along the two
+// fastest axes and back is the previous plane. This is the "generalized
+// design for compressors besides interpolation-based ones" the paper
+// lists as future work (Section VII); the scan-order geometry replaces
+// the level-wise plane geometry.
+func lorenzoRegion(base, nx, ny, nz int) core.Region {
+	return core.Region{
+		Base: base,
+		Ext:  [4]int{1, nx, ny, nz},
+		Strd: [4]int{0, ny * nz, nz, 1},
+		Left: 3, Top: 2, Back: 1,
+		Level: 1,
+	}
+}
+
 // decompressLorenzo reverses compressLorenzo. enc is overwritten in place
-// with recovered original symbols when QP is active.
-func decompressLorenzo(data []float64, dims []int, quant quantizer.Linear, enc []int32, literals []float64, pred *core.Predictor) error {
+// with recovered original symbols when QP is active: each block's symbols
+// are recovered by a kernelized inverse sweep (region row-major order is
+// exactly the scan order) before the block's reconstruction scan.
+func decompressLorenzo(data []float64, dims []int, quant quantizer.Linear, enc []int32, literals []float64,
+	pred *core.Predictor, workers int, qpSp *obs.Span) error {
+
 	blocks, nx, ny, nz := view3(dims)
 	bsz := nx * ny * nz
+	qpWsp := core.WorkerSpans(qpSp, workers)
 	lit := 0
 	for b := 0; b < blocks; b++ {
+		if pred != nil {
+			t0 := qpSp.Begin()
+			pred.InverseRegion(enc, lorenzoRegion(b*bsz, nx, ny, nz), workers, qpWsp)
+			qpSp.AddSince(t0)
+		}
 		f := predictor.Field3{Data: data[b*bsz : (b+1)*bsz], Nx: nx, Ny: ny, Nz: nz}
 		idx := b * bsz
 		for i := 0; i < nx; i++ {
@@ -110,10 +107,6 @@ func decompressLorenzo(data []float64, dims []int, quant quantizer.Linear, enc [
 				for k := 0; k < nz; k++ {
 					p := f.Predict(i, j, k)
 					sym := enc[idx]
-					if pred != nil {
-						sym += pred.Compensate(enc, lorenzoNeighborhood(idx, i, j, k, ny, nz))
-						enc[idx] = sym
-					}
 					if sym == quantizer.Unpredictable {
 						if lit >= len(literals) {
 							return fmt.Errorf("%w: literal stream exhausted", ErrCorrupt)

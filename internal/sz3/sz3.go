@@ -230,7 +230,11 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		literals = compressInterp(data, f.Dims(), opts, quant, q, qp, pred, levels)
 	} else {
 		loSp := opts.Obs.Child("lorenzo")
-		literals = compressLorenzo(data, f.Dims(), quant, q, qp, pred)
+		var qpSp *obs.Span
+		if qp != nil {
+			qpSp = opts.Obs.ChildAccum("qp")
+		}
+		literals = compressLorenzo(data, f.Dims(), quant, q, qp, pred, opts.Workers, qpSp)
 		loSp.Add("points", int64(len(data)))
 		loSp.End()
 	}
@@ -424,7 +428,11 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 			}
 		}
 		loSp := sp.Child("lorenzo")
-		err = decompressLorenzo(out.Data, dims, quant, enc, literals, pred)
+		var qpSp *obs.Span
+		if pred != nil {
+			qpSp = sp.ChildAccum("qp")
+		}
+		err = decompressLorenzo(out.Data, dims, quant, enc, literals, pred, workers, qpSp)
 		loSp.Add("points", int64(n))
 		loSp.End()
 		if err != nil {

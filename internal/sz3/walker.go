@@ -173,6 +173,23 @@ func makePass(dims, strides []int, dir, s, level int, step [4]int) pass {
 	return pa
 }
 
+// qpRegion maps the pass onto the core.Region the kernelized QP sweeps
+// operate on: the three orthogonal lattice axes plus the in-line point
+// axis (odd multiples of s along dir, i.e. origin s*dstr, stride
+// 2s*dstr). Left/Top live on the orthogonal axes makePass picked; Back
+// is always the point axis. Region row-major order is exactly the
+// line-then-point order of walkLinePoints, so kernel sweeps replay the
+// reference visit order.
+func (pa *pass) qpRegion() core.Region {
+	return core.Region{
+		Base: pa.s * pa.dstr,
+		Ext:  [4]int{pa.cnt[0], pa.cnt[1], pa.cnt[2], pa.pointsPerLine},
+		Strd: [4]int{pa.stride[0], pa.stride[1], pa.stride[2], 2 * pa.s * pa.dstr},
+		Left: pa.leftK, Top: pa.topK, Back: 3,
+		Level: pa.level,
+	}
+}
+
 // line returns the geometry of line li (row-major over the orthogonal
 // lattice): the flat index of the line's origin and whether the Left/Top
 // QP neighbors exist for its points.
