@@ -12,7 +12,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint lint-fixtures race check bench bench-pr3 bench-pr5 fuzz-smoke cover
+.PHONY: all build test vet lint lint-fixtures race check bench bench-pr3 bench-pr5 bench-pr6 fuzz-smoke cover
 
 all: check
 
@@ -51,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run xxx -fuzz '^FuzzHuffmanDecode$$' -fuzztime $(FUZZTIME) ./internal/huffman/
 	$(GO) test -run xxx -fuzz '^FuzzHuffmanRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/huffman/
+	$(GO) test -run xxx -fuzz '^FuzzRice$$' -fuzztime $(FUZZTIME) ./internal/rice/
 	$(GO) test -run xxx -fuzz '^FuzzRangeCoderDecode$$' -fuzztime $(FUZZTIME) ./internal/lossless/
 	$(GO) test -run xxx -fuzz '^FuzzLosslessDecompress$$' -fuzztime $(FUZZTIME) ./internal/lossless/
 	$(GO) test -run xxx -fuzz '^FuzzBitReader$$' -fuzztime $(FUZZTIME) ./internal/bitstream/
@@ -101,3 +102,20 @@ bench-pr5:
 	    results/BENCH_pr3.json > results/BENCH_pr5.json
 	@rm -f results/bench_pr5.scdc
 	@echo wrote results/BENCH_pr5.json
+
+# Entropy-stage snapshot: the same observed compression as bench-pr5 (so
+# the huffman stage is an apples-to-apples before/after against the PR 5
+# baseline in results/BENCH_pr5.json) plus the per-coder encode/decode
+# benchmarks (legacy Huffman kernel vs Golomb-Rice) and the sharded
+# Huffman worker-scaling rows.
+bench-pr6:
+	@mkdir -p results
+	$(GO) run ./cmd/scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp \
+	    -out results/bench_pr6.scdc -stats -statsout results/bench_pr6.stats.json \
+	    | tee results/bench_pr6_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkEntropyCoders|BenchmarkHotPathShardedHuffman' \
+	    -benchtime 20x . | tee -a results/bench_pr6_raw.txt
+	sh scripts/bench_json_pr6.sh results/bench_pr6.stats.json results/bench_pr6_raw.txt \
+	    results/BENCH_pr5.json > results/BENCH_pr6.json
+	@rm -f results/bench_pr6.scdc
+	@echo wrote results/BENCH_pr6.json

@@ -14,6 +14,7 @@ import (
 	"scdc/internal/datagen"
 	"scdc/internal/huffman"
 	"scdc/internal/quantizer"
+	"scdc/internal/rice"
 	"scdc/internal/sz3"
 )
 
@@ -121,6 +122,64 @@ func BenchmarkHotPathShardedHuffman(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkEntropyCoders prices the coder family on the real Miranda
+// quantization indices: legacy single-body Huffman and Golomb-Rice
+// encode/decode throughput side by side (the sharded Huffman variants
+// live in BenchmarkHotPathShardedHuffman). `make bench-pr6` snapshots
+// these with the end-to-end huffman stage timing into
+// results/BENCH_pr6.json.
+func BenchmarkEntropyCoders(b *testing.B) {
+	f := field(datagen.Miranda, 1)
+	var tr sz3.Trace
+	opts := sz3.DefaultOptions(1e-3)
+	opts.Choice = sz3.ChoiceInterp
+	opts.Trace = &tr
+	if _, err := sz3.Compress(f, opts); err != nil {
+		b.Fatal(err)
+	}
+	q := tr.Q
+	size := int64(len(q) * 4)
+
+	b.Run("huffman/encode", func(b *testing.B) {
+		b.SetBytes(size)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			huffman.Encode(q)
+		}
+	})
+	huffEnc := huffman.Encode(q)
+	b.Run("huffman/decode", func(b *testing.B) {
+		b.SetBytes(size)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := huffman.Decode(huffEnc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rice/encode", func(b *testing.B) {
+		b.SetBytes(size)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rice.Encode(q)
+		}
+	})
+	riceEnc := rice.Encode(q)
+	b.Run("rice/decode", func(b *testing.B) {
+		b.SetBytes(size)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rice.Decode(riceEnc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkQPKernels isolates the QP stage on a Miranda-sized symbol

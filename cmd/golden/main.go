@@ -38,6 +38,10 @@ type Entry struct {
 	QP         bool    `json:"qp"`
 	Chunked    bool    `json:"chunked,omitempty"`
 	V1         bool    `json:"v1,omitempty"`
+	// Entropy names a non-default entropy coder ("rice", "auto"); empty
+	// for the legacy Huffman streams so their manifest lines are
+	// unchanged.
+	Entropy string `json:"entropy,omitempty"`
 	// StreamSHA256 pins the exact compressed bytes; DecodedSHA256 pins
 	// the float64 little-endian bytes Decompress must reproduce.
 	StreamSHA256  string `json:"stream_sha256"`
@@ -89,13 +93,13 @@ func build() ([]Entry, map[string][]byte, error) {
 	var entries []Entry
 	streams := make(map[string][]byte)
 
-	add := func(name string, dims []int, stream []byte, decoded []float64, alg scdc.Algorithm, eb float64, qp, chunked, v1 bool) {
+	add := func(name string, dims []int, stream []byte, decoded []float64, alg scdc.Algorithm, eb float64, qp, chunked, v1 bool, entropy string) {
 		file := name + ".scdc"
 		streams[file] = stream
 		entries = append(entries, Entry{
 			Name: name, File: file,
 			Algorithm: alg.String(), Dims: dims, ErrorBound: eb,
-			QP: qp, Chunked: chunked, V1: v1,
+			QP: qp, Chunked: chunked, V1: v1, Entropy: entropy,
 			StreamSHA256:  shaHex(stream),
 			DecodedSHA256: shaHex(decodedBytes(decoded)),
 		})
@@ -128,8 +132,33 @@ func build() ([]Entry, map[string][]byte, error) {
 					mode = "qpon"
 				}
 				name := fmt.Sprintf("%s_%dd_%s", strings.ToLower(alg.String()), len(dims), mode)
-				add(name, dims, stream, res.Data, alg, eb, qp, false, false)
+				add(name, dims, stream, res.Data, alg, eb, qp, false, false, "")
 			}
+		}
+	}
+
+	// Rice / auto entropy-coder streams (sub-format 0x00 0x02): one rice
+	// stream per QP-capable algorithm in 3D, plus an auto-selected SZ3
+	// stream, pinning the Golomb-Rice byte format and the coder decision.
+	for _, ec := range []scdc.EntropyCoder{scdc.EntropyRice, scdc.EntropyAuto} {
+		algs := []scdc.Algorithm{scdc.SZ3, scdc.QoZ, scdc.HPEZ, scdc.MGARD}
+		if ec == scdc.EntropyAuto {
+			algs = algs[:1]
+		}
+		for _, alg := range algs {
+			dims := []int{8, 8, 8}
+			data := synth(dims)
+			opts := scdc.Options{Algorithm: alg, ErrorBound: eb, QP: scdc.DefaultQP(), Entropy: ec}
+			stream, err := scdc.Compress(data, dims, opts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%v entropy=%v: %w", alg, ec, err)
+			}
+			res, err := scdc.Decompress(stream)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%v entropy=%v: decode: %w", alg, ec, err)
+			}
+			name := fmt.Sprintf("%s_3d_qpon_%v", strings.ToLower(alg.String()), ec)
+			add(name, dims, stream, res.Data, alg, eb, true, false, false, ec.String())
 		}
 	}
 
@@ -146,7 +175,7 @@ func build() ([]Entry, map[string][]byte, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("chunked decode: %w", err)
 		}
-		add("chunked_sz3_3d_qpon", dims, stream, res.Data, scdc.SZ3, eb, true, true, false)
+		add("chunked_sz3_3d_qpon", dims, stream, res.Data, scdc.SZ3, eb, true, true, false, "")
 	}
 
 	// Legacy v1 stream: the v2 golden with its footer stripped and the
@@ -164,7 +193,7 @@ func build() ([]Entry, map[string][]byte, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("v1 decode: %w", err)
 		}
-		add("v1_sz3_3d_qpoff", dims, v1, res.Data, scdc.SZ3, eb, false, false, true)
+		add("v1_sz3_3d_qpoff", dims, v1, res.Data, scdc.SZ3, eb, false, false, true, "")
 	}
 
 	return entries, streams, nil

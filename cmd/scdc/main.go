@@ -80,6 +80,7 @@ func run(args []string, stdout io.Writer) error {
 		verify     = fs.Bool("verify", false, "after -z, decompress and report quality metrics, compression ratio and bit rate")
 		workers    = fs.Int("workers", 1, "goroutines for intra-field parallelism (compress and decompress); output is identical for any value")
 		shards     = fs.Int("shards", 0, "split the entropy stream into this many Huffman shards for parallel decode (0 = single stream)")
+		entropyArg = fs.String("entropy", "huffman", "entropy coder for the quantization index stream: huffman, auto or rice")
 		stats      = fs.Bool("stats", false, "print a per-stage span tree and write the scdc-stats/1 JSON report")
 		statsOut   = fs.String("statsout", "", "stats JSON path (default <out>.stats.json; with -stats)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
@@ -167,8 +168,12 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("one of -in or -dataset is required with -z")
 	}
 
+	coder, err := scdc.ParseEntropyCoder(*entropyArg)
+	if err != nil {
+		return err
+	}
 	opts := scdc.Options{Algorithm: alg, ErrorBound: *eb, RelativeBound: *rel,
-		Workers: *workers, Shards: *shards}
+		Workers: *workers, Shards: *shards, Entropy: coder}
 	if *qp {
 		opts.QP = scdc.DefaultQP()
 	}

@@ -66,6 +66,7 @@ var lintPkgs = []string{
 	"scdc/internal/predictor",
 	"scdc/internal/qoz",
 	"scdc/internal/quantizer",
+	"scdc/internal/rice",
 	"scdc/internal/sperr",
 	"scdc/internal/sz3",
 	"scdc/internal/transform",

@@ -21,6 +21,7 @@ type goldenEntry struct {
 	QP            bool    `json:"qp"`
 	Chunked       bool    `json:"chunked"`
 	V1            bool    `json:"v1"`
+	Entropy       string  `json:"entropy"`
 	StreamSHA256  string  `json:"stream_sha256"`
 	DecodedSHA256 string  `json:"decoded_sha256"`
 }
@@ -112,10 +113,16 @@ func TestGoldenCoverage(t *testing.T) {
 	}
 	seen := make(map[key]bool)
 	var chunked, v1 bool
+	rice := make(map[string]bool)
+	var auto bool
 	for _, e := range entries {
 		seen[key{e.Algorithm, len(e.Dims), e.QP}] = true
 		chunked = chunked || e.Chunked
 		v1 = v1 || e.V1
+		if e.Entropy == "rice" {
+			rice[e.Algorithm] = true
+		}
+		auto = auto || e.Entropy == "auto"
 	}
 	for _, alg := range []Algorithm{SZ3, QoZ, HPEZ, MGARD, ZFP, TTHRESH, SPERR} {
 		for nd := 1; nd <= 4; nd++ {
@@ -132,6 +139,14 @@ func TestGoldenCoverage(t *testing.T) {
 	}
 	if !v1 {
 		t.Error("no v1 golden stream")
+	}
+	for _, alg := range []Algorithm{SZ3, QoZ, HPEZ, MGARD} {
+		if !rice[alg.String()] {
+			t.Errorf("no rice-entropy golden for %v", alg)
+		}
+	}
+	if !auto {
+		t.Error("no auto-entropy golden stream")
 	}
 }
 

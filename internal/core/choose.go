@@ -1,8 +1,10 @@
 package core
 
 import (
+	"scdc/internal/entropy"
 	"scdc/internal/huffman"
 	"scdc/internal/obs"
+	"scdc/internal/rice"
 )
 
 // ChooseEncoding picks between the original index array q and its
@@ -30,39 +32,78 @@ func ChooseEncodingSharded(q, qp []int32, shards, workers int) (huff []byte, use
 }
 
 // ChooseEncodingObs is ChooseEncodingSharded with the entropy decision
-// and encoder output surfaced on sp (which may be nil — the decision is
-// identical and nothing extra is computed). When observed, sp gains:
+// and encoder output surfaced on sp. Kept as the Huffman-only entry
+// point; see ChooseEncodingCoder for the full coder family.
+func ChooseEncodingObs(q, qp []int32, shards, workers int, sp *obs.Span) (huff []byte, useQP bool) {
+	return ChooseEncodingCoder(q, qp, entropy.CoderHuffman, shards, workers, sp)
+}
+
+// ChooseEncodingCoder is the entropy-stage front door: one
+// entropy.Analyze pass per candidate array feeds the QP-vs-base decision,
+// the coder selection and the encoder's code tables, so nothing
+// histograms an index array twice. coder entropy.CoderHuffman reproduces
+// the legacy streams byte-for-byte; CoderRice forces the Golomb-Rice
+// sub-format; CoderAuto picks the cheaper of the two per stream from the
+// same size estimates that drive the QP decision.
+//
+// When sp is non-nil it gains (observation never changes the stream):
 //
 //	gauges   entropy_q_bits, entropy_qp_bits (bits/index, before/after QP)
 //	counters est_bytes_q, est_bytes_qp, qp_kept (0/1),
+//	         coder (chosen entropy.Coder value),
+//	         est_bits_out, act_bits_out (estimated vs actual output bits),
 //	         bytes_out, table_bytes, symbols
-//
-// Observation never changes the produced stream: the decision still uses
-// only EstimateBytes on the same inputs.
-func ChooseEncodingObs(q, qp []int32, shards, workers int, sp *obs.Span) (huff []byte, useQP bool) {
+func ChooseEncodingCoder(q, qp []int32, coder entropy.Coder, shards, workers int, sp *obs.Span) (enc []byte, useQP bool) {
+	d := entropy.Analyze(q)
+	var dqp *entropy.Dist
+	if qp != nil {
+		dqp = entropy.Analyze(qp)
+	}
 	if sp != nil {
 		sp.Add("symbols", int64(len(q)))
-		sp.Set("entropy_q_bits", huffman.EntropyBits(q))
-		sp.Add("est_bytes_q", int64(huffman.EstimateBytes(q)))
-		if qp != nil {
-			sp.Set("entropy_qp_bits", huffman.EntropyBits(qp))
-			sp.Add("est_bytes_qp", int64(huffman.EstimateBytes(qp)))
+		sp.Set("entropy_q_bits", d.EntropyBits())
+		sp.Add("est_bytes_q", int64(d.EstimateBytes(coder)))
+		if dqp != nil {
+			sp.Set("entropy_qp_bits", dqp.EntropyBits())
+			sp.Add("est_bytes_qp", int64(dqp.EstimateBytes(coder)))
 		}
 	}
-	if qp != nil && huffman.EstimateBytes(qp) < huffman.EstimateBytes(q) {
-		q, useQP = qp, true
+	if dqp != nil && dqp.EstimateBytes(coder) < d.EstimateBytes(coder) {
+		q, d, useQP = qp, dqp, true
 	}
-	if shards <= 1 {
-		huff = huffman.Encode(q)
+
+	chosen := coder
+	if chosen == entropy.CoderAuto {
+		chosen = d.AutoCoder()
+	}
+	if chosen == entropy.CoderRice {
+		enc = rice.EncodeDist(q, d)
+	} else if shards <= 1 {
+		enc = huffman.EncodeDist(q, d)
 	} else {
-		huff = huffman.EncodeSharded(q, shards, workers)
+		enc = huffman.EncodeShardedDist(q, d, shards, workers)
 	}
+
 	if sp != nil {
 		if useQP {
 			sp.Add("qp_kept", 1)
 		}
-		sp.Add("bytes_out", int64(len(huff)))
-		sp.Add("table_bytes", int64(huffman.TableBytes(huff)))
+		sp.Add("coder", int64(chosen))
+		sp.Add("est_bits_out", int64(d.EstimateBytes(chosen))*8)
+		sp.Add("act_bits_out", int64(len(enc))*8)
+		sp.Add("bytes_out", int64(len(enc)))
+		sp.Add("table_bytes", int64(huffman.TableBytes(enc)))
 	}
-	return huff, useQP
+	return enc, useQP
+}
+
+// DecodeIndices decodes an entropy-coded index stream produced by
+// ChooseEncodingCoder, dispatching on the sub-format marker: rice streams
+// (0x00 0x02) to rice.Decode, everything else — legacy single-body and
+// 0x00 0x01 sharded Huffman — to huffman.DecodeParallel.
+func DecodeIndices(data []byte, workers int) ([]int32, error) {
+	if rice.IsRice(data) {
+		return rice.Decode(data)
+	}
+	return huffman.DecodeParallel(data, workers)
 }

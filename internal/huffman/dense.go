@@ -1,109 +1,23 @@
 package huffman
 
-import (
-	"math"
-	"sort"
-)
+import "scdc/internal/entropy"
 
-// Dense-range fast paths. Quantization index arrays concentrate in a
-// narrow band around the quantizer's center symbol, so histogramming and
-// code lookup run over a dense array instead of a hash map whenever the
-// symbol range is moderate. The encoded byte format is unchanged.
-
-// maxDenseRange bounds the dense table size (16 MiB of int64 counts).
-const maxDenseRange = 1 << 21
-
-// symbolRange scans q once and reports (min, max, ok) where ok means the
-// dense path applies.
-func symbolRange(q []int32) (lo, hi int32, ok bool) {
-	if len(q) == 0 {
-		return 0, 0, false
-	}
-	lo, hi = q[0], q[0]
-	for _, v := range q {
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	return lo, hi, int64(hi)-int64(lo) < maxDenseRange
-}
-
-// denseCounts histograms q into a dense table offset by lo.
-func denseCounts(q []int32, lo, hi int32) []uint64 {
-	counts := make([]uint64, int(hi-lo)+1)
-	for _, v := range q {
-		counts[v-lo]++
-	}
-	return counts
-}
-
-// entropyStats histograms q once and returns the total Shannon
-// information content in bits plus the number of distinct symbols.
-func entropyStats(q []int32) (bits float64, distinct int) {
-	if len(q) == 0 {
-		return 0, 0
-	}
-	lo, hi, ok := symbolRange(q)
-	if ok {
-		counts := denseCounts(q, lo, hi)
-		n := float64(len(q))
-		for _, c := range counts {
-			if c == 0 {
-				continue
-			}
-			distinct++
-			p := float64(c) / n
-			bits += float64(c) * neglog2(p)
-		}
-	} else {
-		m := make(map[int32]int)
-		for _, v := range q {
-			m[v]++
-		}
-		// Sum in sorted symbol order: the float accumulation is not
-		// associative, and this estimate feeds codec decisions, so map
-		// iteration order must not leak into the result.
-		syms := make([]int32, 0, len(m))
-		for s := range m {
-			syms = append(syms, s)
-		}
-		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-		n := float64(len(q))
-		for _, s := range syms {
-			c := m[s]
-			distinct++
-			p := float64(c) / n
-			bits += float64(c) * neglog2(p)
-		}
-	}
-	return bits, distinct
-}
+// Size/entropy estimators, kept as thin wrappers over entropy.Analyze so
+// existing callers keep their one-call API. Hot paths (core.ChooseEncoding)
+// analyze once and pass the Dist to EncodeDist/EncodeShardedDist instead of
+// calling these, avoiding repeated histogram passes.
 
 // EstimateBytes returns the approximate encoded size of q (Huffman body
 // via Shannon entropy, plus the table header) without building codes.
 // Used by the QP adaptive fallback to pick a stream before paying for a
 // full encode.
 func EstimateBytes(q []int32) int {
-	if len(q) == 0 {
-		return 2
-	}
-	bits, distinct := entropyStats(q)
-	return int(bits/8) + distinct*3 + 16
+	return entropy.Analyze(q).HuffmanBytes()
 }
 
 // EntropyBits returns the Shannon entropy of q in bits per symbol — the
 // quantity QP minimizes (paper Section V-A). Telemetry only: it costs a
 // full histogram pass.
 func EntropyBits(q []int32) float64 {
-	if len(q) == 0 {
-		return 0
-	}
-	bits, _ := entropyStats(q)
-	return bits / float64(len(q))
+	return entropy.Analyze(q).EntropyBits()
 }
-
-// neglog2 returns -log2(p) for p in (0, 1].
-func neglog2(p float64) float64 { return -math.Log2(p) }

@@ -1,13 +1,15 @@
 // Package huffman implements a canonical Huffman coder over int32 symbol
-// streams. It is the entropy-encoder stage of every prediction-based
-// compressor in this repository, mirroring the Huffman stage of SZ3, QoZ,
-// HPEZ and MGARD (paper Section II).
+// streams. It is the default entropy-encoder stage of every
+// prediction-based compressor in this repository, mirroring the Huffman
+// stage of SZ3, QoZ, HPEZ and MGARD (paper Section II).
 //
 // The encoded form is self-describing: a varint-coded canonical code table
-// followed by the bit stream. Decoding is table-driven per code length.
-// A sharded variant (see sharded.go) splits the body into K independent
-// sub-streams under one shared code table so encode and decode scale with
-// cores.
+// followed by the bit stream. Both directions run through table-driven
+// kernels: encode batches symbols into a 64-bit accumulator flushed in
+// word-sized writes, decode peeks a 12-bit window into a one-lookup table
+// refilled from a local bit buffer. A sharded variant (see sharded.go)
+// splits the body into K independent sub-streams under one shared code
+// table so encode and decode scale with cores.
 package huffman
 
 import (
@@ -15,10 +17,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"scdc/internal/bitstream"
+	"scdc/internal/entropy"
 )
 
 // ErrCorrupt reports a malformed Huffman stream.
@@ -64,58 +66,17 @@ type symLen struct {
 	len int
 }
 
-// symCount is one distinct symbol with its frequency, sorted by symbol.
-type symCount struct {
-	sym   int32
-	count uint64
-}
-
-// gatherCounts returns the distinct symbols of q with counts, sorted by
-// symbol, using the dense path when the range permits.
-func gatherCounts(q []int32) []symCount {
-	if lo, hi, ok := symbolRange(q); ok {
-		counts := getCountBuf(int(hi-lo) + 1)
-		for _, v := range q {
-			counts[v-lo]++
-		}
-		out := make([]symCount, 0, 64)
-		for i, c := range counts {
-			if c > 0 {
-				out = append(out, symCount{lo + int32(i), c})
-			}
-		}
-		putCountBuf(counts)
-		return out
-	}
-	m := make(map[int32]uint64)
-	for _, v := range q {
-		m[v]++
-	}
-	// Iterate symbols in sorted order rather than map order so the table
-	// construction path never depends on per-run map randomization.
-	syms := make([]int32, 0, len(m))
-	for s := range m {
-		syms = append(syms, s)
-	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-	out := make([]symCount, 0, len(m))
-	for _, s := range syms {
-		out = append(out, symCount{s, m[s]})
-	}
-	return out
-}
-
-// codeLengths computes Huffman code lengths for the distinct symbols of q.
-func codeLengths(q []int32) []symLen {
-	syms := gatherCounts(q)
+// codeLengths computes Huffman code lengths for the distinct symbols of d.
+func codeLengths(d *entropy.Dist) []symLen {
+	syms := d.Syms
 	if len(syms) == 1 {
-		return []symLen{{syms[0].sym, 1}}
+		return []symLen{{syms[0].Sym, 1}}
 	}
 
 	arena := make([]node, 0, 2*len(syms))
 	h := &nodeHeap{arena: arena}
 	for _, s := range syms {
-		h.arena = append(h.arena, node{count: s.count, sym: s.sym, left: -1, right: -1})
+		h.arena = append(h.arena, node{count: s.Count, sym: s.Sym, left: -1, right: -1})
 		h.idx = append(h.idx, len(h.arena)-1)
 	}
 	heap.Init(h)
@@ -149,13 +110,26 @@ func codeLengths(q []int32) []symLen {
 		}
 		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].len != out[j].len {
-			return out[i].len < out[j].len
-		}
-		return out[i].sym < out[j].sym
-	})
+	sortSymLens(out)
 	return out
+}
+
+// sortSymLens orders the table canonically: by length, then symbol.
+func sortSymLens(out []symLen) {
+	// Insertion sort on an almost-sorted table is fine; tables hold at most
+	// a few thousand entries and the traversal emits them nearly in order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && lessSymLen(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}
+
+func lessSymLen(a, b symLen) bool {
+	if a.len != b.len {
+		return a.len < b.len
+	}
+	return a.sym < b.sym
 }
 
 func minI32(a, b int32) int32 {
@@ -163,35 +137,6 @@ func minI32(a, b int32) int32 {
 		return a
 	}
 	return b
-}
-
-// --- pooled scratch ---
-
-var writerPool = sync.Pool{New: func() any { return bitstream.NewWriter(1 << 12) }}
-
-func getWriter() *bitstream.Writer {
-	w := writerPool.Get().(*bitstream.Writer)
-	w.Reset()
-	return w
-}
-
-var countPool = sync.Pool{New: func() any { return new([]uint64) }}
-
-// getCountBuf returns a zeroed pooled histogram buffer of length n.
-func getCountBuf(n int) []uint64 {
-	p := countPool.Get().(*[]uint64)
-	if cap(*p) < n {
-		*p = make([]uint64, n)
-		return *p
-	}
-	s := (*p)[:n]
-	clear(s)
-	return s
-}
-
-func putCountBuf(buf []uint64) {
-	buf = buf[:cap(buf)]
-	countPool.Put(&buf)
 }
 
 // --- encoding ---
@@ -236,21 +181,62 @@ func buildCodes(table []symLen, lo, hi int32, dense bool) codeSet {
 	return cs
 }
 
-// encodeBody writes the Huffman bit stream of q into a pooled writer and
-// returns the padded bytes appended to dst.
+// encodeBody appends the Huffman bit stream of q to dst through a 64-bit
+// accumulator flushed in word-sized big-endian writes — the table-driven
+// encode kernel. The bit-level output is identical to driving
+// bitstream.Writer one code at a time (MSB-first, zero-padded tail byte),
+// without the per-symbol call and branch overhead.
 func encodeBody(dst []byte, q []int32, cs *codeSet) []byte {
-	w := getWriter()
+	var acc uint64
+	var nbit uint
 	if cs.codesArr != nil {
+		codes, lens, lo := cs.codesArr, cs.lensArr, cs.lo
 		for _, v := range q {
-			w.WriteBits(cs.codesArr[v-cs.lo], uint(cs.lensArr[v-cs.lo]))
+			i := v - lo
+			c, l := codes[i], uint(lens[i])
+			if nbit+l <= 64 {
+				acc = acc<<l | c
+				nbit += l
+				if nbit == 64 {
+					dst = binary.BigEndian.AppendUint64(dst, acc)
+					acc, nbit = 0, 0
+				}
+				continue
+			}
+			// Split across the word boundary: top `space` bits complete the
+			// accumulator, the low bits start the next word.
+			space := 64 - nbit
+			rem := l - space
+			dst = binary.BigEndian.AppendUint64(dst, acc<<space|c>>rem)
+			acc = c & (1<<rem - 1)
+			nbit = rem
 		}
 	} else {
 		for _, v := range q {
-			w.WriteBits(cs.codes[v], cs.lens[v])
+			c, l := cs.codes[v], cs.lens[v]
+			if nbit+l <= 64 {
+				acc = acc<<l | c
+				nbit += l
+				if nbit == 64 {
+					dst = binary.BigEndian.AppendUint64(dst, acc)
+					acc, nbit = 0, 0
+				}
+				continue
+			}
+			space := 64 - nbit
+			rem := l - space
+			dst = binary.BigEndian.AppendUint64(dst, acc<<space|c>>rem)
+			acc = c & (1<<rem - 1)
+			nbit = rem
 		}
 	}
-	dst = append(dst, w.Bytes()...)
-	writerPool.Put(w)
+	for nbit >= 8 {
+		nbit -= 8
+		dst = append(dst, byte(acc>>nbit))
+	}
+	if nbit > 0 {
+		dst = append(dst, byte(acc<<(8-nbit)))
+	}
 	return dst
 }
 
@@ -270,12 +256,19 @@ func appendTableHeader(hdr []byte, nsamp int, table []symLen) []byte {
 
 // Encode compresses q into a self-describing byte stream.
 func Encode(q []int32) []byte {
+	return EncodeDist(q, entropy.Analyze(q))
+}
+
+// EncodeDist is Encode reusing a distribution already computed by
+// entropy.Analyze(q), so callers that estimated sizes before encoding
+// (core.ChooseEncoding) never histogram the array twice. d must describe
+// exactly q.
+func EncodeDist(q []int32, d *entropy.Dist) []byte {
 	table := []symLen(nil)
 	if len(q) > 0 {
-		table = codeLengths(q)
+		table = codeLengths(d)
 	}
-	lo, hi, dense := symbolRange(q)
-	cs := buildCodes(table, lo, hi, dense && len(q) > 0)
+	cs := buildCodes(table, d.Lo, d.Hi, d.Dense && len(q) > 0)
 
 	hdr := make([]byte, 0, 16+len(table)*3)
 	hdr = appendTableHeader(hdr, len(q), table)
@@ -412,22 +405,63 @@ func (d *decoder) release() {
 
 // decodeBody decodes exactly len(out) symbols from body into out. It is
 // safe to call concurrently on one decoder with distinct bodies/outputs.
+//
+// The hot loop mirrors the encode kernel: a local 64-bit buffer holds the
+// next bits left-aligned (the invariant "bits past bitCnt are zero" makes
+// the top-12-bit peek zero-padded for free, matching Reader.PeekBits), and
+// is refilled in 32-bit loads. Codes longer than fastBits — which need
+// ~Fibonacci(13) skewed counts to exist — re-sync through the canonical
+// slow path on a bitstream.Reader.
 func (d *decoder) decodeBody(body []byte, out []int32) error {
-	r := bitstream.NewReader(body)
 	ents := d.fast.ents
-	for i := range out {
-		if e := ents[r.PeekBits(fastBits)]; e.len != 0 {
-			if err := r.Skip(uint(e.len)); err != nil {
+	var bitBuf uint64 // upcoming bits, MSB-aligned; zero below bitCnt
+	var bitCnt uint   // number of valid bits in bitBuf
+	pos := 0          // next unread byte of body
+	for i := 0; i < len(out); i++ {
+		if bitCnt < 32 {
+			if pos+4 <= len(body) {
+				bitBuf |= uint64(binary.BigEndian.Uint32(body[pos:])) << (32 - bitCnt)
+				pos += 4
+				bitCnt += 32
+			} else {
+				for pos < len(body) && bitCnt <= 56 {
+					bitBuf |= uint64(body[pos]) << (56 - bitCnt)
+					pos++
+					bitCnt += 8
+				}
+			}
+		}
+		e := ents[bitBuf>>(64-fastBits)]
+		if l := uint(e.len); l != 0 {
+			if l > bitCnt {
+				// The lookup matched only thanks to the zero padding past
+				// the end of the body: the stream is truncated.
 				return fmt.Errorf("%w: truncated body", ErrCorrupt)
 			}
+			bitBuf <<= l
+			bitCnt -= l
 			out[i] = e.sym
 			continue
+		}
+		// Slow path: position a Reader at the current bit offset, decode
+		// one long code, then re-sync the local buffer.
+		r := bitstream.NewReader(body)
+		if err := r.Skip(uint(pos*8) - bitCnt); err != nil {
+			return fmt.Errorf("%w: truncated body", ErrCorrupt)
 		}
 		sym, err := d.decodeSlow(r)
 		if err != nil {
 			return err
 		}
 		out[i] = sym
+		consumed := r.BitsRead()
+		pos = consumed >> 3
+		bitBuf, bitCnt = 0, 0
+		if frac := uint(consumed & 7); frac > 0 {
+			bitBuf = uint64(body[pos]) << (56 + frac)
+			bitCnt = 8 - frac
+			pos++
+		}
 	}
 	return nil
 }

@@ -3,7 +3,9 @@ package huffman
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
+	"scdc/internal/entropy"
 	"scdc/internal/parallel"
 )
 
@@ -34,21 +36,33 @@ const (
 // directory entry are noise relative to the body.
 const minShardSamples = 4096
 
+// bodyPool recycles per-shard encode buffers across EncodeSharded calls.
+// Bodies are append-only, so reuse only reslices to length zero — every
+// byte the kernel emits overwrites the buffer, nothing to clear.
+var bodyPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // EncodeSharded compresses q as shards independent sub-streams under one
 // shared code table, encoding shard bodies on up to workers goroutines.
 // shards <= 1 (or a stream too small to split) falls back to the legacy
 // single-body format, so the output is always decodable by Decode.
 func EncodeSharded(q []int32, shards, workers int) []byte {
+	return EncodeShardedDist(q, entropy.Analyze(q), shards, workers)
+}
+
+// EncodeShardedDist is EncodeSharded reusing a distribution already
+// computed by entropy.Analyze(q). The shard split depends only on (len(q),
+// shards) and each shard body is encoded independently under the shared
+// table, so the output is byte-identical across worker counts.
+func EncodeShardedDist(q []int32, d *entropy.Dist, shards, workers int) []byte {
 	if maxSh := len(q) / minShardSamples; shards > maxSh {
 		shards = maxSh
 	}
 	if shards <= 1 {
-		return Encode(q)
+		return EncodeDist(q, d)
 	}
 
-	table := codeLengths(q)
-	lo, hi, dense := symbolRange(q)
-	cs := buildCodes(table, lo, hi, dense)
+	table := codeLengths(d)
+	cs := buildCodes(table, d.Lo, d.Hi, d.Dense)
 
 	hdr := make([]byte, 0, 16+len(table)*3)
 	hdr = appendTableHeader(hdr, len(q), table)
@@ -57,7 +71,8 @@ func EncodeSharded(q []int32, shards, workers int) []byte {
 	parallel.ForEach(shards, workers, func(i int) {
 		lo := i * len(q) / shards
 		hi := (i + 1) * len(q) / shards
-		bodies[i] = encodeBody(make([]byte, 0, (hi-lo)/2+8), q[lo:hi], &cs)
+		buf := *bodyPool.Get().(*[]byte)
+		bodies[i] = encodeBody(buf[:0], q[lo:hi], &cs)
 	})
 
 	out := make([]byte, 0, 4+len(hdr)+len(q)/2+8*shards)
@@ -73,6 +88,7 @@ func EncodeSharded(q []int32, shards, workers int) []byte {
 	}
 	for _, b := range bodies {
 		out = append(out, b...)
+		bodyPool.Put(&b)
 	}
 	return out
 }

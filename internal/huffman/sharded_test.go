@@ -74,10 +74,29 @@ func TestShardedMarkerUnambiguous(t *testing.T) {
 
 func TestShardedDeterministicAcrossWorkers(t *testing.T) {
 	q := skewed(80_000, 6)
-	a := EncodeSharded(q, 5, 1)
-	b := EncodeSharded(q, 5, 8)
-	if !bytes.Equal(a, b) {
-		t.Fatal("worker count changed the sharded stream")
+	want := EncodeSharded(q, 5, 1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := EncodeSharded(q, 5, workers); !bytes.Equal(want, got) {
+			t.Fatalf("workers=%d changed the sharded stream", workers)
+		}
+	}
+}
+
+// TestShardedBufferReuse drives back-to-back sharded encodes of different
+// arrays: pooled shard buffers must never leak one call's bytes into the
+// next (they are resliced to zero length and fully rewritten).
+func TestShardedBufferReuse(t *testing.T) {
+	big := skewed(60_000, 3)
+	small := skewed(20_000, 9)
+	wantBig := append([]byte(nil), EncodeSharded(big, 4, 2)...)
+	wantSmall := append([]byte(nil), EncodeSharded(small, 4, 2)...)
+	for i := 0; i < 5; i++ {
+		if !bytes.Equal(EncodeSharded(big, 4, 2), wantBig) {
+			t.Fatalf("iteration %d: big stream drifted under buffer reuse", i)
+		}
+		if !bytes.Equal(EncodeSharded(small, 4, 2), wantSmall) {
+			t.Fatalf("iteration %d: small stream drifted under buffer reuse", i)
+		}
 	}
 }
 

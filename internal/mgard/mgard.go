@@ -29,8 +29,8 @@ import (
 	"math"
 
 	"scdc/internal/core"
+	"scdc/internal/entropy"
 	"scdc/internal/grid"
-	"scdc/internal/huffman"
 	"scdc/internal/lossless"
 	"scdc/internal/obs"
 	"scdc/internal/quantizer"
@@ -66,6 +66,9 @@ type Options struct {
 	// Shards splits the entropy-coded index stream into independently
 	// decodable Huffman shards. <= 1 keeps the legacy single-body stream.
 	Shards int
+	// Entropy selects the index entropy coder (zero value = legacy
+	// Huffman; see sz3.Options.Entropy).
+	Entropy entropy.Coder
 	// Trace optionally captures internals for characterization.
 	Trace *sz3.Trace
 	// Obs, when non-nil, receives per-stage telemetry spans. Nil disables
@@ -99,6 +102,9 @@ func (o *Options) normalize() error {
 	}
 	if err := o.QP.Validate(); err != nil {
 		return fmt.Errorf("%w: %w", ErrBadOptions, err)
+	}
+	if !o.Entropy.Valid() {
+		return fmt.Errorf("%w: unknown entropy coder %d", ErrBadOptions, o.Entropy)
 	}
 	return nil
 }
@@ -173,7 +179,7 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	}
 
 	encSp := opts.Obs.Child("huffman")
-	huff, kept := core.ChooseEncodingObs(q, qp, opts.Shards, opts.Workers, encSp)
+	huff, kept := core.ChooseEncodingCoder(q, qp, opts.Entropy, opts.Shards, opts.Workers, encSp)
 	encSp.End()
 	qpCfg := opts.QP
 	if !kept {
@@ -282,7 +288,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	}
 	buf = buf[k:]
 	huffSp := sp.Child("huffman")
-	enc, err := huffman.DecodeParallel(buf[:hl], workers)
+	enc, err := core.DecodeIndices(buf[:hl], workers)
 	huffSp.Add("bytes_in", int64(hl))
 	huffSp.Add("symbols", int64(len(enc)))
 	huffSp.End()

@@ -25,8 +25,8 @@ import (
 	"math"
 
 	"scdc/internal/core"
+	"scdc/internal/entropy"
 	"scdc/internal/grid"
-	"scdc/internal/huffman"
 	"scdc/internal/interp"
 	"scdc/internal/lossless"
 	"scdc/internal/obs"
@@ -63,6 +63,9 @@ type Options struct {
 	// Shards splits the entropy-coded index stream into independently
 	// decodable Huffman shards. <= 1 keeps the legacy single-body stream.
 	Shards int
+	// Entropy selects the index entropy coder (zero value = legacy
+	// Huffman; see sz3.Options.Entropy).
+	Entropy entropy.Coder
 	// Trace optionally captures internals for characterization.
 	Trace *sz3.Trace
 	// Obs, when non-nil, receives per-stage telemetry spans. Nil disables
@@ -96,6 +99,9 @@ func (o *Options) normalize() error {
 	}
 	if err := o.QP.Validate(); err != nil {
 		return fmt.Errorf("%w: %w", ErrBadOptions, err)
+	}
+	if !o.Entropy.Valid() {
+		return fmt.Errorf("%w: unknown entropy coder %d", ErrBadOptions, o.Entropy)
 	}
 	return nil
 }
@@ -159,7 +165,7 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	}
 
 	encSp := opts.Obs.Child("huffman")
-	huff, kept := core.ChooseEncodingObs(q, qp, opts.Shards, opts.Workers, encSp)
+	huff, kept := core.ChooseEncodingCoder(q, qp, opts.Entropy, opts.Shards, opts.Workers, encSp)
 	encSp.End()
 	if !kept {
 		pl.qp = core.Config{}
@@ -309,7 +315,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	}
 	buf = buf[k:]
 	huffSp := sp.Child("huffman")
-	enc, err := huffman.DecodeParallel(buf[:hl], workers)
+	enc, err := core.DecodeIndices(buf[:hl], workers)
 	huffSp.Add("bytes_in", int64(hl))
 	huffSp.Add("symbols", int64(len(enc)))
 	huffSp.End()

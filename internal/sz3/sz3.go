@@ -20,8 +20,8 @@ import (
 	"math"
 
 	"scdc/internal/core"
+	"scdc/internal/entropy"
 	"scdc/internal/grid"
-	"scdc/internal/huffman"
 	"scdc/internal/interp"
 	"scdc/internal/lossless"
 	"scdc/internal/obs"
@@ -92,6 +92,12 @@ type Options struct {
 	// independently decodable Huffman shards sharing one code table, so
 	// decompression can fan out. <= 1 keeps the legacy single-body stream.
 	Shards int
+	// Entropy selects the index entropy coder. The zero value
+	// (entropy.CoderHuffman) reproduces the legacy Huffman streams;
+	// CoderRice forces the Golomb-Rice sub-format, CoderAuto picks the
+	// cheaper coder per stream. Decompression dispatches on the stream
+	// marker, so it needs no option.
+	Entropy entropy.Coder
 	// Trace, when non-nil, captures internals for characterization.
 	Trace *Trace
 	// Obs, when non-nil, receives per-stage telemetry spans (choose,
@@ -150,6 +156,9 @@ func (o *Options) normalize(nd int) error {
 	}
 	if err := o.QP.Validate(); err != nil {
 		return fmt.Errorf("%w: %w", ErrBadOptions, err)
+	}
+	if !o.Entropy.Valid() {
+		return fmt.Errorf("%w: unknown entropy coder %d", ErrBadOptions, o.Entropy)
 	}
 	if o.DirOrder == nil {
 		o.DirOrder = DefaultDirOrder(nd)
@@ -258,9 +267,9 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	encSp := opts.Obs.Child("huffman")
 	var huff []byte
 	if useQP && opts.ForceQP {
-		huff, _ = core.ChooseEncodingObs(qp, nil, opts.Shards, opts.Workers, encSp)
+		huff, _ = core.ChooseEncodingCoder(qp, nil, opts.Entropy, opts.Shards, opts.Workers, encSp)
 	} else {
-		huff, useQP = core.ChooseEncodingObs(q, qp, opts.Shards, opts.Workers, encSp)
+		huff, useQP = core.ChooseEncodingCoder(q, qp, opts.Entropy, opts.Shards, opts.Workers, encSp)
 	}
 	encSp.End()
 
@@ -376,7 +385,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	}
 	buf = buf[k:]
 	huffSp := sp.Child("huffman")
-	enc, err := huffman.DecodeParallel(buf[:hl], workers)
+	enc, err := core.DecodeIndices(buf[:hl], workers)
 	huffSp.Add("bytes_in", int64(hl))
 	huffSp.Add("symbols", int64(len(enc)))
 	huffSp.End()

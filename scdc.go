@@ -33,6 +33,7 @@ import (
 	"math"
 
 	"scdc/internal/core"
+	"scdc/internal/entropy"
 	"scdc/internal/grid"
 	"scdc/internal/hpez"
 	"scdc/internal/mgard"
@@ -143,6 +144,37 @@ func (q QPConfig) toCore() core.Config {
 	return core.Config{Mode: core.Mode(q.Mode), Cond: core.Cond(q.Condition), MaxLevel: q.MaxLevel}
 }
 
+// EntropyCoder selects the entropy coder for the quantization index
+// streams of the interpolation-based algorithms. Decompression dispatches
+// on the stream's sub-format marker, so reading needs no option and every
+// earlier stream keeps decoding.
+type EntropyCoder byte
+
+const (
+	// EntropyHuffman (the zero value) is the canonical Huffman coder —
+	// the legacy default; streams are byte-identical to earlier releases.
+	EntropyHuffman EntropyCoder = EntropyCoder(entropy.CoderHuffman)
+	// EntropyAuto picks the cheaper of Huffman and Golomb-Rice per stream
+	// from the same size estimates that drive the QP fallback decision.
+	EntropyAuto EntropyCoder = EntropyCoder(entropy.CoderAuto)
+	// EntropyRice forces the adaptive Golomb-Rice coder with its
+	// low-entropy run/escape sub-mode.
+	EntropyRice EntropyCoder = EntropyCoder(entropy.CoderRice)
+)
+
+// String implements fmt.Stringer.
+func (c EntropyCoder) String() string { return entropy.Coder(c).String() }
+
+// ParseEntropyCoder resolves a lower-case coder name ("huffman", "auto",
+// "rice").
+func ParseEntropyCoder(name string) (EntropyCoder, error) {
+	c, err := entropy.ParseCoder(name)
+	if err != nil {
+		return 0, fmt.Errorf("%w: unknown entropy coder %q", ErrBadOptions, name)
+	}
+	return EntropyCoder(c), nil
+}
+
 // Options configures Compress.
 type Options struct {
 	// Algorithm selects the compressor. Default SZ3.
@@ -167,6 +199,11 @@ type Options struct {
 	// out entropy decoding. <= 1 keeps the legacy single-body stream, which
 	// any earlier reader also understands.
 	Shards int
+	// Entropy selects the entropy coder for the quantization index
+	// streams of the interpolation-based algorithms. The zero value
+	// (EntropyHuffman) reproduces the legacy streams byte-for-byte;
+	// EntropyAuto and EntropyRice opt into the Golomb-Rice sub-format.
+	Entropy EntropyCoder
 	// Observer, when non-nil, collects per-stage telemetry spans for every
 	// Compress/CompressChunked call made with these options (see
 	// CompressWithStats for the one-shot form). Nil disables observation at
@@ -287,6 +324,12 @@ func compressSpan(data []float64, dims []int, opts Options, sp *obs.Span) ([]byt
 	if opts.QP.Mode != QPOff && !opts.Algorithm.SupportsQP() {
 		return nil, fmt.Errorf("%w: %v does not support QP", ErrBadOptions, opts.Algorithm)
 	}
+	if !entropy.Coder(opts.Entropy).Valid() {
+		return nil, fmt.Errorf("%w: unknown entropy coder %d", ErrBadOptions, opts.Entropy)
+	}
+	if opts.Entropy != EntropyHuffman && !opts.Algorithm.SupportsQP() {
+		return nil, fmt.Errorf("%w: %v has no quantization index stream for entropy coder %v", ErrBadOptions, opts.Algorithm, opts.Entropy)
+	}
 
 	var payload []byte
 	switch opts.Algorithm {
@@ -294,24 +337,28 @@ func compressSpan(data []float64, dims []int, opts Options, sp *obs.Span) ([]byt
 		o := sz3.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
+		o.Entropy = entropy.Coder(opts.Entropy)
 		o.Obs = sp
 		payload, err = sz3.Compress(f, o)
 	case QoZ:
 		o := qoz.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
+		o.Entropy = entropy.Coder(opts.Entropy)
 		o.Obs = sp
 		payload, err = qoz.Compress(f, o)
 	case HPEZ:
 		o := hpez.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
+		o.Entropy = entropy.Coder(opts.Entropy)
 		o.Obs = sp
 		payload, err = hpez.Compress(f, o)
 	case MGARD:
 		o := mgard.DefaultOptions(eb)
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
+		o.Entropy = entropy.Coder(opts.Entropy)
 		o.Obs = sp
 		payload, err = mgard.Compress(f, o)
 	case ZFP:

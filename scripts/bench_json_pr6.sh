@@ -1,0 +1,88 @@
+#!/bin/sh
+# bench_json_pr6.sh STATS_JSON RAW_OUTPUT PR5_JSON > BENCH_pr6.json
+#
+# Assembles the entropy-stage PR's benchmark snapshot from three inputs
+# captured by `make bench-pr6`:
+#   $1  scdc-stats/1 JSON written by `scdc -z ... -stats` (per-stage ns,
+#       same command as the PR 5 snapshot so the huffman stage is
+#       comparable)
+#   $2  raw text holding the BenchmarkEntropyCoders and
+#       BenchmarkHotPathShardedHuffman output
+#   $3  results/BENCH_pr5.json, whose stage_ns.huffman entry is the
+#       before-number for the entropy-stage speedup
+set -eu
+stats=$1
+raw=$2
+pr5=$3
+
+cpu=$(sed -n 's/^cpu: //p' "$raw" | head -1)
+gover=$(go version | awk '{print $3 " " $4}')
+ncpu=$(nproc 2>/dev/null || echo unknown)
+
+summary=$(awk -F'"' '/"op"|"algorithm"|"schema"/ {print $4}' "$stats" | paste -sd' ' -)
+ratio=$(sed -n 's/^  "ratio": \([0-9.]*\),*$/\1/p' "$stats")
+bpv=$(sed -n 's/^  "bits_per_value": \([0-9.]*\),*$/\1/p' "$stats")
+
+before=$(sed -n 's/^    "huffman": \([0-9]*\),*$/\1/p' "$pr5" | head -1)
+
+cat <<EOF
+{
+  "description": "Entropy-stage snapshot for the kernelized Huffman + Golomb-Rice hybrid coder PR. Stages come from the scdc-stats/1 report of 'scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp -stats' (identical command to the PR 5 snapshot, workers=1), so huffman_speedup compares the table-driven encode/decode kernels against the PR 5 per-symbol bitstream baseline on the same pipeline. Coder rows isolate per-coder encode/decode throughput on the real Miranda quantization indices.",
+  "machine": {
+    "cpu": "$cpu",
+    "cpus_online": $ncpu,
+    "go": "$gover",
+    "date": "$(date +%Y-%m-%d)"
+  },
+  "command": "make bench-pr6",
+  "run": {
+    "stats": "$summary",
+    "ratio": ${ratio:-0},
+    "bits_per_value": ${bpv:-0}
+  },
+  "stage_ns": {
+EOF
+
+# Top-level report fields sit at 4-space indent, direct children of the
+# root span at 8 spaces, grandchildren deeper — so matching exactly 8
+# leading spaces yields the pipeline stages without nested pass spans.
+awk '
+/^        "name": / { split($0, a, "\""); name = a[4]; next }
+/^        "ns": /   {
+    ns = $2; sub(/,$/, "", ns)
+    line = sprintf("    \"%s\": %s", name, ns)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$stats"
+
+after=$(awk '
+/^        "name": "huffman"/ { hit = 1; next }
+/^        "ns": /            { if (hit) { ns = $2; sub(/,$/, "", ns); print ns; exit } }' "$stats")
+
+cat <<EOF
+  },
+  "huffman_speedup": {
+    "before_ns": ${before:-0},
+    "before_source": "results/BENCH_pr5.json stage_ns.huffman (per-symbol bitstream.Writer/Reader encode and decode)",
+    "after_ns": ${after:-0},
+    "speedup": $(awk "BEGIN { b=${before:-0}; a=${after:-1}; if (a > 0) printf \"%.2f\", b/a; else print 0 }")
+  },
+  "coder_bench": {
+EOF
+
+awk '/^BenchmarkEntropyCoders|^BenchmarkHotPathShardedHuffman/ {
+    name = $1
+    sub(/^BenchmarkEntropyCoders\//, "", name)
+    sub(/^BenchmarkHotPathShardedHuffman\//, "sharded/", name)
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("    \"%s\": {\"ns_op\": %s, \"mb_s\": %s}", name, $3, $5)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$raw"
+
+cat <<EOF
+  }
+}
+EOF
