@@ -12,7 +12,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint lint-fixtures race check bench bench-pr3 bench-pr5 bench-pr6 fuzz-smoke cover
+.PHONY: all build test vet lint lint-fixtures race check bench bench-pr3 bench-pr5 bench-pr6 bench-pr7 fuzz-smoke cover
 
 all: check
 
@@ -58,6 +58,24 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzBitWriterReader$$' -fuzztime $(FUZZTIME) ./internal/bitstream/
 	$(GO) test -run xxx -fuzz '^FuzzQuantizerRecover$$' -fuzztime $(FUZZTIME) ./internal/quantizer/
 	$(GO) test -run xxx -fuzz '^FuzzQPKernelDifferential$$' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run xxx -fuzz '^FuzzInterpKernelDifferential$$' -fuzztime $(FUZZTIME) ./internal/sz3/
+
+# Interpolation-kernel snapshot: the same observed compression as
+# bench-pr6 (so the interp stage is an apples-to-apples before/after
+# against the PR 6 baseline in results/BENCH_pr6.json) plus the
+# sz3-layer kernel benchmarks isolating the fused forward/inverse line
+# sweeps (reference walker vs kernels, linear and cubic).
+bench-pr7:
+	@mkdir -p results
+	$(GO) run ./cmd/scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp \
+	    -out results/bench_pr7.scdc -stats -statsout results/bench_pr7.stats.json \
+	    | tee results/bench_pr7_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkInterpKernels' -benchtime 20x ./internal/sz3/ \
+	    | tee -a results/bench_pr7_raw.txt
+	sh scripts/bench_json_pr7.sh results/bench_pr7.stats.json results/bench_pr7_raw.txt \
+	    results/BENCH_pr6.json > results/BENCH_pr7.json
+	@rm -f results/bench_pr7.scdc
+	@echo wrote results/BENCH_pr7.json
 
 cover:
 	$(GO) test -cover ./...

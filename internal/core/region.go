@@ -37,6 +37,21 @@ func (rg Region) Points() int {
 	return rg.Ext[0] * rg.Ext[1] * rg.Ext[2] * rg.Ext[3]
 }
 
+// Rows returns the number of axis-3 runs of the region — the lattice
+// planes the row-major sweeps (QP kernels, interpolation line kernels)
+// enumerate as their unit of work.
+func (rg Region) Rows() int {
+	return rg.Ext[0] * rg.Ext[1] * rg.Ext[2]
+}
+
+// RowBase returns the flat index of the first axis-3 point of row r,
+// with rows numbered in row-major order over the three outer axes —
+// exactly the order Rows-based sweeps visit them.
+func (rg Region) RowBase(r int) int {
+	base, _, _, _ := rg.rowBase(r)
+	return base
+}
+
 // neighborhood builds the reference Neighborhood of the point at the
 // given lattice position — the bridge between Region geometry and the
 // per-point Compensate path the kernels are differentially tested

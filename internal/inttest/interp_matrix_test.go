@@ -1,0 +1,114 @@
+package inttest
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"scdc/internal/core"
+	"scdc/internal/datagen"
+	"scdc/internal/grid"
+	"scdc/internal/interp"
+	"scdc/internal/lossless"
+	"scdc/internal/qoz"
+	"scdc/internal/quantizer"
+	"scdc/internal/sz3"
+)
+
+// TestInterpWorkersBitIdentical extends the PR 5 worker-matrix pattern
+// to the kernelized interpolation stage: for sz3 × {linear, cubic} and
+// qoz × {tuned, untuned}, with QP on and off, compressed streams must be
+// byte-identical and decompressed fields bit-identical across worker
+// counts {1, 2, 4, 8}. Dims are chosen large enough that the passes
+// clear minParallelPoints and actually exercise the chunk-parallel
+// forward/inverse kernel paths.
+func TestInterpWorkersBitIdentical(t *testing.T) {
+	f := datagen.MustGenerate(datagen.Miranda, 1, []int{40, 48, 56}, 9)
+	field := grid.MustNew(f.Dims()...)
+	copy(field.Data, f.Data)
+	workerCounts := []int{1, 2, 4, 8}
+	eb := 1e-3 * f.Range()
+
+	type cell struct {
+		name       string
+		compress   func(workers int) ([]byte, error)
+		decompress func(payload []byte, workers int) (*grid.Field, error)
+	}
+	var cells []cell
+	for _, kind := range []interp.Kind{interp.Linear, interp.Cubic} {
+		for _, qp := range []bool{false, true} {
+			kind, qp := kind, qp
+			cells = append(cells, cell{
+				name: fmt.Sprintf("sz3/%v/qp=%v", kind, qp),
+				compress: func(workers int) ([]byte, error) {
+					opts := sz3.DefaultOptions(eb)
+					opts.Interp = kind
+					opts.Workers = workers
+					if qp {
+						opts.QP = core.Default()
+					}
+					return sz3.Compress(field, opts)
+				},
+				decompress: func(payload []byte, workers int) (*grid.Field, error) {
+					return sz3.DecompressWorkers(payload, field.Dims(), workers)
+				},
+			})
+		}
+	}
+	for _, tune := range []bool{false, true} {
+		for _, qp := range []bool{false, true} {
+			tune, qp := tune, qp
+			cells = append(cells, cell{
+				name: fmt.Sprintf("qoz/tune=%v/qp=%v", tune, qp),
+				compress: func(workers int) ([]byte, error) {
+					opts := qoz.Options{
+						ErrorBound: eb,
+						Radius:     quantizer.DefaultRadius,
+						Lossless:   lossless.Flate,
+						Tune:       tune,
+						Workers:    workers,
+					}
+					if qp {
+						opts.QP = core.Default()
+					}
+					return qoz.Compress(field, opts)
+				},
+				decompress: func(payload []byte, workers int) (*grid.Field, error) {
+					return qoz.DecompressWorkers(payload, field.Dims(), workers)
+				},
+			})
+		}
+	}
+
+	for _, c := range cells {
+		t.Run(c.name, func(t *testing.T) {
+			var refStream []byte
+			var refField []float64
+			for _, w := range workerCounts {
+				stream, err := c.compress(w)
+				if err != nil {
+					t.Fatalf("workers=%d: compress: %v", w, err)
+				}
+				out, err := c.decompress(stream, w)
+				if err != nil {
+					t.Fatalf("workers=%d: decompress: %v", w, err)
+				}
+				if w == workerCounts[0] {
+					refStream, refField = stream, out.Data
+					continue
+				}
+				if !bytes.Equal(stream, refStream) {
+					t.Fatalf("workers=%d: stream differs from workers=1 (%d vs %d bytes)",
+						w, len(stream), len(refStream))
+				}
+				for i := range refField {
+					if math.Float64bits(out.Data[i]) != math.Float64bits(refField[i]) {
+						t.Fatalf("workers=%d: field diverges at %d: %v != %v",
+							w, i, out.Data[i], refField[i])
+					}
+				}
+			}
+		})
+	}
+}

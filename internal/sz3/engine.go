@@ -145,34 +145,16 @@ func passGrain(pa *pass, workers int) int {
 	return grain
 }
 
-// compressLine interpolates and quantizes every predicted point of one
-// line, appending unpredictable values to lits.
-func compressLine(data []float64, q []int32, pa *pass, base int,
-	kind interp.Kind, quant quantizer.Linear, lits []float64) []float64 {
-
-	s, n, dstr := pa.s, pa.n, pa.dstr
-	for t := s; t < n; t += 2 * s {
-		idx := base + t*dstr
-		p := interp.LineSlice(data, base, dstr, n, t, s, kind)
-		sym, dec, ok := quant.Quantize(data[idx], p)
-		q[idx] = sym
-		if !ok {
-			lits = append(lits, data[idx])
-		}
-		data[idx] = dec
-	}
-	return lits
-}
-
 // passSpan opens a wall-clock span for one parallel pass under the
 // accumulating interp span, or nil when observation is off.
-func passSpan(parent *obs.Span, pa *pass) *obs.Span {
+func passSpan(parent *obs.Span, pa *pass, kind interp.Kind) *obs.Span {
 	if parent == nil {
 		return nil
 	}
 	sp := parent.Child(fmt.Sprintf("pass[L%d d%d]", pa.level, pa.dir))
 	sp.Add("lines", int64(pa.numLines))
 	sp.Add("points", int64(pa.numLines*pa.pointsPerLine))
+	sp.Add("kind", int64(kind))
 	return sp
 }
 
@@ -186,31 +168,25 @@ func chunkSpan(passSp *obs.Span, chunk int) *obs.Span {
 	return passSp.Child(fmt.Sprintf("chunk[%d]", chunk))
 }
 
-// compressPass runs one pass, in parallel when it is large enough.
-// Literals are gathered per chunk and concatenated in line order, so the
-// stream matches the sequential visit order exactly.
+// compressPass runs one pass through the fused forward kernels
+// (interp_kernel.go), in parallel when it is large enough. Literals are
+// gathered per chunk and concatenated in line order, so the stream
+// matches the sequential visit order exactly.
 func compressPass(data []float64, q []int32, pa *pass,
 	kind interp.Kind, quant quantizer.Linear, workers int, literals []float64,
 	obsParent *obs.Span) []float64 {
 
+	lk := makeLineKern(pa, quant)
+	rg := pa.qpRegion()
 	if workers <= 1 || pa.numLines < 2 || pa.numLines*pa.pointsPerLine < minParallelPoints {
-		for li := 0; li < pa.numLines; li++ {
-			base, _, _ := pa.line(li)
-			literals = compressLine(data, q, pa, base, kind, quant, literals)
-		}
-		return literals
+		return fwdLines(data, q, rg, &lk, kind, 0, pa.numLines, literals)
 	}
-	passSp := passSpan(obsParent, pa)
+	passSp := passSpan(obsParent, pa, kind)
 	grain := passGrain(pa, workers)
 	lits := make([][]float64, parallel.Chunks(pa.numLines, grain))
 	parallel.ForEachChunked(pa.numLines, workers, grain, func(lo, hi int) {
 		csp := chunkSpan(passSp, lo/grain)
-		var buf []float64
-		for li := lo; li < hi; li++ {
-			base, _, _ := pa.line(li)
-			buf = compressLine(data, q, pa, base, kind, quant, buf)
-		}
-		lits[lo/grain] = buf
+		lits[lo/grain] = fwdLines(data, q, rg, &lk, kind, lo, hi, nil)
 		csp.Add("lines", int64(hi-lo))
 		csp.End()
 	})
@@ -221,63 +197,38 @@ func compressPass(data []float64, q []int32, pa *pass,
 	return literals
 }
 
-// decompressLine reconstructs every predicted point of one line from
-// recovered symbols, consuming literals from index lit. ok is false when
-// the literal stream is exhausted.
-func decompressLine(data []float64, enc []int32, pa *pass, base int,
-	kind interp.Kind, quant quantizer.Linear, literals []float64, lit int) (int, bool) {
-
-	s, n, dstr := pa.s, pa.n, pa.dstr
-	for t := s; t < n; t += 2 * s {
-		idx := base + t*dstr
-		sym := enc[idx]
-		if sym == quantizer.Unpredictable {
-			if lit >= len(literals) {
-				return lit, false
-			}
-			data[idx] = literals[lit]
-			lit++
-			continue
-		}
-		p := interp.LineSlice(data, base, dstr, n, t, s, kind)
-		data[idx] = quant.Recover(p, sym)
-	}
-	return lit, true
-}
-
-// decompressPass reconstructs one pass. The parallel path first counts
-// unpredictable symbols per chunk (symbols are fully recovered by now), so
-// every chunk knows its literal cursor up front and lines decode
-// independently.
+// decompressPass reconstructs one pass through the fused inverse kernels.
+// The parallel path first counts unpredictable symbols per chunk (symbols
+// are fully recovered by now), so every chunk knows its literal cursor up
+// front and lines decode independently.
 func decompressPass(data []float64, enc []int32, pa *pass,
 	kind interp.Kind, quant quantizer.Linear, workers int,
 	literals []float64, lit int, corrupt error, obsParent *obs.Span) (int, error) {
 
+	lk := makeLineKern(pa, quant)
+	rg := pa.qpRegion()
 	if workers <= 1 || pa.numLines < 2 || pa.numLines*pa.pointsPerLine < minParallelPoints {
-		for li := 0; li < pa.numLines; li++ {
-			base, _, _ := pa.line(li)
-			var ok bool
-			lit, ok = decompressLine(data, enc, pa, base, kind, quant, literals, lit)
-			if !ok {
-				return lit, fmt.Errorf("%w: literal stream exhausted", corrupt)
-			}
+		var ok bool
+		lit, ok = invLines(data, enc, rg, &lk, kind, 0, pa.numLines, literals, lit)
+		if !ok {
+			return lit, fmt.Errorf("%w: literal stream exhausted", corrupt)
 		}
 		return lit, nil
 	}
 
-	passSp := passSpan(obsParent, pa)
+	passSp := passSpan(obsParent, pa, kind)
 	defer passSp.End()
 	grain := passGrain(pa, workers)
 	counts := make([]int, parallel.Chunks(pa.numLines, grain))
-	s, n, dstr := pa.s, pa.n, pa.dstr
 	parallel.ForEachChunked(pa.numLines, workers, grain, func(lo, hi int) {
 		c := 0
 		for li := lo; li < hi; li++ {
-			base, _, _ := pa.line(li)
-			for t := s; t < n; t += 2 * s {
-				if enc[base+t*dstr] == quantizer.Unpredictable {
+			o := rg.RowBase(li)
+			for k := 0; k < lk.p; k++ {
+				if enc[o] == quantizer.Unpredictable {
 					c++
 				}
+				o += lk.ss2
 			}
 		}
 		counts[lo/grain] = c
@@ -293,11 +244,7 @@ func decompressPass(data []float64, enc []int32, pa *pass,
 	}
 	parallel.ForEachChunked(pa.numLines, workers, grain, func(lo, hi int) {
 		csp := chunkSpan(passSp, lo/grain)
-		pos := offs[lo/grain]
-		for li := lo; li < hi; li++ {
-			base, _, _ := pa.line(li)
-			pos, _ = decompressLine(data, enc, pa, base, kind, quant, literals, pos)
-		}
+		invLines(data, enc, rg, &lk, kind, lo, hi, literals, offs[lo/grain])
 		csp.Add("lines", int64(hi-lo))
 		csp.End()
 	})

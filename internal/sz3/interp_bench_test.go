@@ -1,0 +1,108 @@
+package sz3
+
+import (
+	"fmt"
+	"testing"
+
+	"scdc/internal/datagen"
+	"scdc/internal/interp"
+	"scdc/internal/quantizer"
+)
+
+// BenchmarkInterpKernels isolates the interpolation stage on the Miranda
+// benchmark field: the retained reference walker (closure dispatch +
+// unfused quantizer calls) against the fused line kernels, forward and
+// inverse, linear and cubic, sequential and chunk-parallel. `make
+// bench-pr7` snapshots these rows plus the end-to-end interp stage
+// timing into results/BENCH_pr7.json.
+func BenchmarkInterpKernels(b *testing.B) {
+	f := datagen.MustGenerate(datagen.Miranda, 1, []int{64, 96, 96}, 9)
+	dims := f.Dims()
+	n := len(f.Data)
+	levels := Levels(dims)
+	quant := quantizer.Linear{EB: 1e-3 * f.Range(), Radius: quantizer.DefaultRadius}
+
+	seedOrigin := func(data []float64, q []int32) []float64 {
+		var lits []float64
+		sym, dec, ok := quant.Quantize(data[0], 0)
+		q[0] = sym
+		if !ok {
+			lits = append(lits, data[0])
+		}
+		data[0] = dec
+		return lits
+	}
+
+	work := make([]float64, n)
+	q := make([]int32, n)
+	for _, kind := range []interp.Kind{interp.Linear, interp.Cubic} {
+		spec := LevelSpec{Order: DefaultDirOrder(len(dims)), Kind: kind, Quant: quant}
+		specFor := func(int) LevelSpec { return spec }
+
+		b.Run(fmt.Sprintf("forward/walker/%v", kind), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(work, f.Data)
+				lits := seedOrigin(work, q)
+				compressScheduleRef(work, dims, levels, specFor, q, nil, nil, lits)
+			}
+		})
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("forward/kernel/%v/workers=%d", kind, w), func(b *testing.B) {
+				b.SetBytes(int64(n * 8))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					copy(work, f.Data)
+					lits := seedOrigin(work, q)
+					CompressSchedule(work, dims, levels, w, specFor, q, nil, nil, lits, nil)
+				}
+			})
+		}
+
+		// Inverse benches reconstruct from the streams the forward pass
+		// just produced.
+		copy(work, f.Data)
+		stored := make([]int32, n)
+		lits := seedOrigin(work, stored)
+		lits = CompressSchedule(work, dims, levels, 1, specFor, stored, nil, nil, lits, nil)
+		lit0 := 0
+		if stored[0] == quantizer.Unpredictable {
+			lit0 = 1
+		}
+		dec := make([]float64, n)
+		enc := make([]int32, n)
+		seedDecode := func() {
+			if lit0 == 1 {
+				dec[0] = lits[0]
+			} else {
+				dec[0] = quant.Recover(0, enc[0])
+			}
+		}
+
+		b.Run(fmt.Sprintf("inverse/walker/%v", kind), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(enc, stored)
+				seedDecode()
+				if _, ok := decompressScheduleRef(dec, dims, levels, specFor, enc, lits, lit0, nil); !ok {
+					b.Fatal("literal stream exhausted")
+				}
+			}
+		})
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("inverse/kernel/%v/workers=%d", kind, w), func(b *testing.B) {
+				b.SetBytes(int64(n * 8))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					copy(enc, stored)
+					seedDecode()
+					if err := DecompressSchedule(dec, dims, levels, w, specFor, enc, lits, lit0, nil, ErrCorrupt, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"math/bits"
 
 	"scdc/internal/core"
+	"scdc/internal/interp"
+	"scdc/internal/quantizer"
 )
 
 // Point describes one data point visited by the multilevel interpolation
@@ -206,6 +208,60 @@ func (pa *pass) line(li int) (base int, hasLeft, hasTop bool) {
 	hasLeft = pa.leftK >= 0 && oc[pa.leftK] > 0
 	hasTop = pa.topK >= 0 && oc[pa.topK] > 0
 	return base, hasLeft, hasTop
+}
+
+// compressPassRef is the golden reference forward pass: the seed-era
+// per-point walk with closure-based interp.Line dispatch and the
+// unfused quantizer.Quantize call. The kernelized compressPass is pinned
+// against it by TestInterpKernelsMatchWalker and
+// FuzzInterpKernelDifferential; it is not used on hot paths.
+func compressPassRef(data []float64, q []int32, pa *pass,
+	kind interp.Kind, quant quantizer.Linear, lits []float64) []float64 {
+
+	var pt Point
+	for li := 0; li < pa.numLines; li++ {
+		base, hasLeft, hasTop := pa.line(li)
+		walkLinePoints(pa, base, hasLeft, hasTop, &pt, func(pt *Point) {
+			at := func(t int) float64 { return data[pt.LineBase+t*pt.LineStrd] }
+			p := interp.Line(at, pt.N, pt.T, pt.S, kind)
+			sym, dec, ok := quant.Quantize(data[pt.Idx], p)
+			q[pt.Idx] = sym
+			if !ok {
+				lits = append(lits, data[pt.Idx])
+			}
+			data[pt.Idx] = dec
+		})
+	}
+	return lits
+}
+
+// decompressPassRef is the golden reference inverse pass mirroring
+// compressPassRef. ok is false when the literal stream is exhausted.
+func decompressPassRef(data []float64, enc []int32, pa *pass,
+	kind interp.Kind, quant quantizer.Linear, literals []float64, lit int) (int, bool) {
+
+	ok := true
+	var pt Point
+	for li := 0; li < pa.numLines && ok; li++ {
+		base, hasLeft, hasTop := pa.line(li)
+		walkLinePoints(pa, base, hasLeft, hasTop, &pt, func(pt *Point) {
+			if !ok {
+				return
+			}
+			if sym := enc[pt.Idx]; sym != quantizer.Unpredictable {
+				at := func(t int) float64 { return data[pt.LineBase+t*pt.LineStrd] }
+				data[pt.Idx] = quant.Recover(interp.Line(at, pt.N, pt.T, pt.S, kind), sym)
+				return
+			}
+			if lit >= len(literals) {
+				ok = false
+				return
+			}
+			data[pt.Idx] = literals[lit]
+			lit++
+		})
+	}
+	return lit, ok
 }
 
 // walkLinePoints invokes fn for every predicted point of one line, filling

@@ -180,3 +180,166 @@ func TestDefaultDirOrder(t *testing.T) {
 		t.Fatalf("order = %v", got)
 	}
 }
+
+// oracleSchedule independently re-derives the full multilevel visit
+// order from the paper's schedule definition with plain nested loops —
+// no pass structs, no shared geometry code — so walker regressions
+// cannot hide behind their own abstractions: level L..1, directions in
+// order skipping degenerate axes, orthogonal coordinates ascending
+// lexicographically (slowest axis outermost) with step s on
+// already-processed axes and 2s on pending ones, then t over ascending
+// odd multiples of s.
+func oracleSchedule(dims []int, orderFor func(level int) []int) []int {
+	strides := grid.Strides(dims)
+	nd := len(dims)
+	var visits []int
+	for level := Levels(dims); level >= 1; level-- {
+		s := 1 << (level - 1)
+		done := make([]bool, nd)
+		for _, dir := range orderFor(level) {
+			if dims[dir] <= 1 || s >= dims[dir] {
+				done[dir] = true
+				continue
+			}
+			var orth []int
+			step := make([]int, nd)
+			for a := 0; a < nd; a++ {
+				if a == dir {
+					continue
+				}
+				orth = append(orth, a)
+				if done[a] {
+					step[a] = s
+				} else {
+					step[a] = 2 * s
+				}
+			}
+			var rec func(k, base int)
+			rec = func(k, base int) {
+				if k == len(orth) {
+					for t := s; t < dims[dir]; t += 2 * s {
+						visits = append(visits, base+t*strides[dir])
+					}
+					return
+				}
+				a := orth[k]
+				for c := 0; c < dims[a]; c += step[a] {
+					rec(k+1, base+c*strides[a])
+				}
+			}
+			rec(0, 0)
+			done[dir] = true
+		}
+	}
+	return visits
+}
+
+// degenerateDims are the walker edge cases the interpolation kernels
+// lean on: all-ones fields, single long axes (forcing deep levels with
+// one-line passes), and 4D thin slabs mixing extent-1 axes with real
+// ones.
+var degenerateDims = [][]int{
+	{1}, {1, 1}, {1, 1, 1}, {1, 1, 1, 1},
+	{2}, {1025}, {1, 1, 513}, {513, 1, 1},
+	{2, 9, 1, 33}, {64, 1, 1, 2}, {1, 3, 1, 3}, {2, 1, 2, 1},
+}
+
+// TestWalkScheduleOrderOracle pins the exact visit order of
+// WalkSchedule against the independent oracle on degenerate dims, plus
+// the partition count (every non-origin point exactly once).
+func TestWalkScheduleOrderOracle(t *testing.T) {
+	for _, dims := range degenerateDims {
+		strides := grid.Strides(dims)
+		orderFor := func(int) []int { return DefaultDirOrder(len(dims)) }
+		var got []int
+		WalkSchedule(dims, strides, Levels(dims), orderFor, func(pt *Point) {
+			got = append(got, pt.Idx)
+		})
+		want := oracleSchedule(dims, orderFor)
+		if len(got) != len(want) {
+			t.Fatalf("dims=%v: walker visited %d points, oracle %d", dims, len(got), len(want))
+		}
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		if len(got) != n-1 {
+			t.Fatalf("dims=%v: %d visits, want %d (all non-origin points)", dims, len(got), n-1)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("dims=%v: visit %d is %d, oracle says %d", dims, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWalkScheduleOrderOracleQuick extends the order pin to random small
+// dims in 1–4 dimensions with both direction orders.
+func TestWalkScheduleOrderOracleQuick(t *testing.T) {
+	f := func(a, b, c, d, ndB uint8, flip bool) bool {
+		nd := int(ndB)%4 + 1
+		dims := []int{int(a)%9 + 1, int(b)%9 + 1, int(c)%9 + 1, int(d)%9 + 1}[:nd]
+		order := DefaultDirOrder(nd)
+		if flip {
+			for i, j := 0, nd-1; i < j; i, j = i+1, j-1 {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		orderFor := func(int) []int { return order }
+		strides := grid.Strides(dims)
+		var got []int
+		WalkSchedule(dims, strides, Levels(dims), orderFor, func(pt *Point) {
+			got = append(got, pt.Idx)
+		})
+		want := oracleSchedule(dims, orderFor)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLevelsProperties pins Levels on degenerate shapes: zero only for
+// all-ones dims, and otherwise the unique L with 2^(L-1) <= max(d-1) <
+// 2^L — so the top level always has at least one non-degenerate pass.
+func TestLevelsProperties(t *testing.T) {
+	for _, dims := range degenerateDims {
+		m := 0
+		for _, d := range dims {
+			if d-1 > m {
+				m = d - 1
+			}
+		}
+		got := Levels(dims)
+		if m == 0 {
+			if got != 0 {
+				t.Fatalf("Levels(%v) = %d, want 0 for a single-point field", dims, got)
+			}
+			continue
+		}
+		if got < 1 || 1<<(got-1) > m || m >= 1<<got {
+			t.Fatalf("Levels(%v) = %d does not bracket max extent-1 = %d", dims, got, m)
+		}
+		// The top level must produce at least one pass: stride 2^(L-1)
+		// fits inside the longest axis.
+		s := 1 << (got - 1)
+		ok := false
+		for _, d := range dims {
+			if s < d {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("Levels(%v) = %d: top-level stride %d exceeds every axis", dims, got, s)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+#!/bin/sh
+# bench_json_pr7.sh STATS_JSON RAW_OUTPUT PR6_JSON > BENCH_pr7.json
+#
+# Assembles the interpolation-kernel PR's benchmark snapshot from three
+# inputs captured by `make bench-pr7`:
+#   $1  scdc-stats/1 JSON written by `scdc -z ... -stats` (per-stage ns,
+#       same command as the PR 6 snapshot so the interp stage is
+#       comparable)
+#   $2  raw text holding the BenchmarkInterpKernels output
+#   $3  results/BENCH_pr6.json, whose stage_ns.interp entry is the
+#       before-number for the interpolation-stage speedup
+set -eu
+stats=$1
+raw=$2
+pr6=$3
+
+cpu=$(sed -n 's/^cpu: //p' "$raw" | head -1)
+gover=$(go version | awk '{print $3 " " $4}')
+ncpu=$(nproc 2>/dev/null || echo unknown)
+
+summary=$(awk -F'"' '/"op"|"algorithm"|"schema"/ {print $4}' "$stats" | paste -sd' ' -)
+ratio=$(sed -n 's/^  "ratio": \([0-9.]*\),*$/\1/p' "$stats")
+bpv=$(sed -n 's/^  "bits_per_value": \([0-9.]*\),*$/\1/p' "$stats")
+
+before=$(sed -n 's/^    "interp": \([0-9]*\),*$/\1/p' "$pr6" | head -1)
+
+cat <<EOF
+{
+  "description": "Interpolation-kernel snapshot for the fused line-sweep PR. Stages come from the scdc-stats/1 report of 'scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp -stats' (identical command to the PR 6 snapshot, workers=1), so interp_speedup compares the fused per-boundary-segment kernels against the PR 6 per-point walker baseline on the same pipeline. Kernel rows isolate forward/inverse schedule throughput (reference walker vs fused kernels, linear and cubic, sequential and chunked) on the real Miranda field.",
+  "machine": {
+    "cpu": "$cpu",
+    "cpus_online": $ncpu,
+    "go": "$gover",
+    "date": "$(date +%Y-%m-%d)"
+  },
+  "command": "make bench-pr7",
+  "run": {
+    "stats": "$summary",
+    "ratio": ${ratio:-0},
+    "bits_per_value": ${bpv:-0}
+  },
+  "stage_ns": {
+EOF
+
+# Top-level report fields sit at 4-space indent, direct children of the
+# root span at 8 spaces, grandchildren deeper — so matching exactly 8
+# leading spaces yields the pipeline stages without nested pass spans.
+awk '
+/^        "name": / { split($0, a, "\""); name = a[4]; next }
+/^        "ns": /   {
+    ns = $2; sub(/,$/, "", ns)
+    line = sprintf("    \"%s\": %s", name, ns)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$stats"
+
+after=$(awk '
+/^        "name": "interp"/ { hit = 1; next }
+/^        "ns": /           { if (hit) { ns = $2; sub(/,$/, "", ns); print ns; exit } }' "$stats")
+
+cat <<EOF
+  },
+  "interp_speedup": {
+    "before_ns": ${before:-0},
+    "before_source": "results/BENCH_pr6.json stage_ns.interp (per-point walker with closure interp.Line dispatch and unfused quantizer calls)",
+    "after_ns": ${after:-0},
+    "speedup": $(awk "BEGIN { b=${before:-0}; a=${after:-1}; if (a > 0) printf \"%.2f\", b/a; else print 0 }")
+  },
+  "kernel_bench": {
+EOF
+
+awk '/^BenchmarkInterpKernels/ {
+    name = $1
+    sub(/^BenchmarkInterpKernels\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("    \"%s\": {\"ns_op\": %s, \"mb_s\": %s}", name, $3, $5)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$raw"
+
+cat <<EOF
+  }
+}
+EOF
