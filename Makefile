@@ -12,7 +12,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint lint-fixtures race check bench bench-pr3 bench-pr5 bench-pr6 bench-pr7 fuzz-smoke cover
+.PHONY: all build test vet lint lint-fixtures race check gate bench bench-pr3 bench-pr5 bench-pr6 bench-pr7 bench-pr8 fuzz-smoke cover
 
 all: check
 
@@ -77,10 +77,40 @@ bench-pr7:
 	@rm -f results/bench_pr7.scdc
 	@echo wrote results/BENCH_pr7.json
 
+# Telemetry-aggregation snapshot: the same observed compression as
+# bench-pr7 (so every stage is an apples-to-apples before/after against
+# results/BENCH_pr7.json — the comparison `make gate` performs), the
+# registry on/off overhead benchmark, the registry Publish/scrape
+# microbenchmarks, the 1/8/64-stream load-generator rows, and the
+# AllocsPerRun zero-allocation guard for the disabled path.
+bench-pr8:
+	@mkdir -p results
+	$(GO) run ./cmd/scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp \
+	    -out results/bench_pr8.scdc -stats -statsout results/bench_pr8.stats.json \
+	    | tee results/bench_pr8_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkMetricsOverhead' -benchtime 5x . \
+	    | tee -a results/bench_pr8_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkRegistry' -benchtime 100x ./internal/obs/agg/ \
+	    | tee -a results/bench_pr8_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkTransferStreams' -benchtime 3x ./internal/transfer/ \
+	    | tee -a results/bench_pr8_raw.txt
+	$(GO) test -run 'TestNilMetricsCompressZeroAllocs|TestNilRegistryZeroAllocs' -count=1 -v \
+	    . ./internal/obs/agg/ | tee -a results/bench_pr8_raw.txt
+	sh scripts/bench_json_pr8.sh results/bench_pr8.stats.json results/bench_pr8_raw.txt \
+	    > results/BENCH_pr8.json
+	@rm -f results/bench_pr8.scdc
+	@echo wrote results/BENCH_pr8.json
+
 cover:
 	$(GO) test -cover ./...
 
-check: build test vet lint lint-fixtures race fuzz-smoke
+# Bench-regression gate (DESIGN.md §14): compares the newest
+# results/BENCH_pr<N>.json snapshot against the previous one and fails
+# on a gross per-stage slowdown or a compression-ratio drop.
+gate:
+	$(GO) run ./cmd/benchgate -dir results
+
+check: build test vet lint lint-fixtures race fuzz-smoke gate
 
 bench: bench-pr3 bench-pr5
 	@mkdir -p results

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeLedger(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseSnapshot = `{
+  "run": {"ratio": 76.13},
+  "stage_ns": {"interp": 6795130, "qp": 4792552, "huffman": 5481108, "quantize": 5835}
+}`
+
+func TestGatePass(t *testing.T) {
+	dir := t.TempDir()
+	writeLedger(t, dir, "BENCH_pr1.json", baseSnapshot)
+	// Faster stages and a slightly better ratio: clean pass. quantize is
+	// below the noise floor on both sides and must be skipped even though
+	// it grew 100x.
+	writeLedger(t, dir, "BENCH_pr2.json", `{
+	  "run": {"ratio": 76.50},
+	  "stage_ns": {"interp": 6000000, "qp": 5000000, "huffman": 5400000, "quantize": 583500}
+	}`)
+	var buf strings.Builder
+	if err := gate([]string{"-dir", dir}, &buf); err != nil {
+		t.Fatalf("gate failed on a clean run: %v\n%s", err, buf.String())
+	}
+	got := buf.String()
+	if !strings.Contains(got, "benchgate: pass") {
+		t.Errorf("missing pass line:\n%s", got)
+	}
+	if !strings.Contains(got, "below noise floor, skipped") {
+		t.Errorf("noise-floor stage not skipped:\n%s", got)
+	}
+}
+
+func TestGateStageRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeLedger(t, dir, "BENCH_pr1.json", baseSnapshot)
+	// interp doubles: past the +50% default tolerance.
+	writeLedger(t, dir, "BENCH_pr2.json", `{
+	  "run": {"ratio": 76.13},
+	  "stage_ns": {"interp": 13590260, "qp": 4792552, "huffman": 5481108}
+	}`)
+	var buf strings.Builder
+	err := gate([]string{"-dir", dir}, &buf)
+	if err == nil {
+		t.Fatalf("gate passed a 2x interp regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION verdict:\n%s", buf.String())
+	}
+	// A wider tolerance lets the same ledger pass.
+	buf.Reset()
+	if err := gate([]string{"-dir", dir, "-tol", "1.5"}, &buf); err != nil {
+		t.Errorf("gate -tol 1.5 still failed: %v", err)
+	}
+}
+
+func TestGateRatioRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeLedger(t, dir, "BENCH_pr1.json", baseSnapshot)
+	writeLedger(t, dir, "BENCH_pr2.json", `{
+	  "run": {"ratio": 70.0},
+	  "stage_ns": {"interp": 6795130, "qp": 4792552, "huffman": 5481108}
+	}`)
+	var buf strings.Builder
+	if err := gate([]string{"-dir", dir}, &buf); err == nil {
+		t.Fatalf("gate passed an 8%% ratio drop:\n%s", buf.String())
+	}
+}
+
+// TestGateSkipsIncomparableBaseline mirrors the real ledger: the oldest
+// snapshot predates the stage_ns schema and must not be the baseline.
+func TestGateSkipsIncomparableBaseline(t *testing.T) {
+	dir := t.TempDir()
+	writeLedger(t, dir, "BENCH_pr1.json", `{"description": "schema-less seed snapshot"}`)
+	writeLedger(t, dir, "BENCH_pr2.json", baseSnapshot)
+	writeLedger(t, dir, "BENCH_pr3.json", `{
+	  "run": {"ratio": 76.13},
+	  "stage_ns": {"interp": 6795130, "qp": 4792552, "huffman": 5481108}
+	}`)
+	var buf strings.Builder
+	if err := gate([]string{"-dir", dir}, &buf); err != nil {
+		t.Fatalf("gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "BENCH_pr2.json") {
+		t.Errorf("baseline should be pr2, not the schema-less pr1:\n%s", buf.String())
+	}
+}
+
+// TestGateNumericOrder pins that discovery sorts by PR number, not
+// lexically: pr10 is newer than pr9.
+func TestGateNumericOrder(t *testing.T) {
+	dir := t.TempDir()
+	writeLedger(t, dir, "BENCH_pr9.json", baseSnapshot)
+	writeLedger(t, dir, "BENCH_pr10.json", `{
+	  "run": {"ratio": 76.13},
+	  "stage_ns": {"interp": 99000000, "qp": 4792552, "huffman": 5481108}
+	}`)
+	if err := gate([]string{"-dir", dir}, io.Discard); err == nil {
+		t.Fatal("pr10 regression missed: lexical sort made pr9 the newest")
+	}
+}
+
+func TestGateExplicitPathsAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	old := writeLedger(t, dir, "old.json", baseSnapshot)
+	regressed := writeLedger(t, dir, "new.json", `{
+	  "run": {"ratio": 76.13},
+	  "stage_ns": {"interp": 99000000}
+	}`)
+	if err := gate([]string{old, regressed}, io.Discard); err == nil {
+		t.Error("explicit-path regression missed")
+	}
+	if err := gate([]string{old}, io.Discard); err == nil {
+		t.Error("single snapshot accepted")
+	}
+	if err := gate([]string{"-dir", filepath.Join(dir, "missing")}, io.Discard); err == nil {
+		t.Error("missing dir accepted")
+	}
+	bad := writeLedger(t, dir, "bad.json", "{")
+	if err := gate([]string{old, bad}, io.Discard); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+// TestGateRealLedger runs the gate over the repository's own results/
+// directory when present, the same invocation `make gate` uses.
+func TestGateRealLedger(t *testing.T) {
+	real := filepath.Join("..", "..", "results")
+	if _, err := os.Stat(filepath.Join(real, "BENCH_pr7.json")); err != nil {
+		t.Skip("repository ledger not present")
+	}
+	var buf strings.Builder
+	if err := gate([]string{"-dir", real}, &buf); err != nil {
+		t.Fatalf("gate fails on the committed ledger: %v\n%s", err, buf.String())
+	}
+}

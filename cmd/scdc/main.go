@@ -31,6 +31,23 @@
 //
 //	scdc -z -dataset Miranda -out m.scdc -rel 1e-4 -qp -stats \
 //	     -cpuprofile cpu.pprof -trace run.trace
+//
+// Positional arguments after the flags are a compress batch: every file
+// is read with the shared -dims/-dtype, compressed with the shared
+// options, and written next to its input (or into the -out directory).
+// A batch with -stats folds all runs into one aggregate registry and
+// prints per-stage latency distributions instead of N span trees
+// (-statsout then writes the scdc-agg/1 snapshot JSON):
+//
+//	scdc -z -dims 64x64x64 -eb 1e-3 -qp -stats step*.f32
+//
+// -serve addr binds an HTTP listener before the batch starts and keeps
+// it up after the batch completes (until SIGINT/SIGTERM), exposing
+// /metrics (Prometheus text), /metrics.json (scdc-agg/1 snapshot),
+// /debug/vars and /debug/pprof/* — the serving seam a long-running scdcd
+// will reuse:
+//
+//	scdc -z -dims 64x64x64 -eb 1e-3 -qp -serve :9090 step*.f32
 package main
 
 import (
@@ -40,18 +57,32 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime/pprof"
 	"runtime/trace"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"scdc"
 	"scdc/datasets"
 	"scdc/internal/grid"
 	"scdc/internal/obs"
+	"scdc/internal/obs/agg"
 	"scdc/internal/qoi"
+)
+
+// Test seams for the -serve loop: testServeReady (when set) receives the
+// bound listener address once the endpoints are live, and testServeStop
+// (when non-nil) replaces the interrupt signal as the shutdown trigger.
+var (
+	testServeReady func(addr string)
+	testServeStop  <-chan struct{}
 )
 
 func main() {
@@ -81,6 +112,7 @@ func run(args []string, stdout io.Writer) error {
 		workers    = fs.Int("workers", 1, "goroutines for intra-field parallelism (compress and decompress); output is identical for any value")
 		shards     = fs.Int("shards", 0, "split the entropy stream into this many Huffman shards for parallel decode (0 = single stream)")
 		entropyArg = fs.String("entropy", "huffman", "entropy coder for the quantization index stream: huffman, auto or rice")
+		serveAddr  = fs.String("serve", "", "serve /metrics, /metrics.json and /debug/pprof on this address; stays up after the batch until interrupted")
 		stats      = fs.Bool("stats", false, "print a per-stage span tree and write the scdc-stats/1 JSON report")
 		statsOut   = fs.String("statsout", "", "stats JSON path (default <out>.stats.json; with -stats)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
@@ -91,10 +123,17 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	inputs := fs.Args()
 	switch {
 	case *compress == *decompress:
 		return fmt.Errorf("exactly one of -z and -x is required")
-	case *out == "":
+	case *decompress && len(inputs) > 0:
+		return fmt.Errorf("positional input files are a compress batch; use -in with -x")
+	case *decompress && *serveAddr != "":
+		return fmt.Errorf("-serve requires a compress run (-z)")
+	case len(inputs) > 0 && (*in != "" || *dataset != ""):
+		return fmt.Errorf("positional input files conflict with -in/-dataset")
+	case len(inputs) == 0 && *out == "":
 		return fmt.Errorf("-out is required")
 	}
 
@@ -135,7 +174,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	statsPath := *statsOut
-	if *stats && statsPath == "" {
+	if *stats && statsPath == "" && len(inputs) == 0 {
 		statsPath = *out + ".stats.json"
 	}
 
@@ -147,6 +186,39 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	coder, err := scdc.ParseEntropyCoder(*entropyArg)
+	if err != nil {
+		return err
+	}
+	opts := scdc.Options{Algorithm: alg, ErrorBound: *eb, RelativeBound: *rel,
+		Workers: *workers, Shards: *shards, Entropy: coder}
+	if *qp {
+		opts.QP = scdc.DefaultQP()
+	}
+
+	// The aggregate registry backs both /metrics (-serve) and the batch
+	// -stats rendering; single-run -stats keeps its span tree.
+	var reg *agg.Registry
+	if *serveAddr != "" || (len(inputs) > 0 && *stats) {
+		reg = agg.New()
+	}
+	opts.Metrics = reg
+
+	srv, err := startServe(*serveAddr, reg, stdout)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
+
+	if len(inputs) > 0 {
+		if err := runBatch(inputs, *out, *dtype, *dimsArg, opts, *stats, statsPath, reg, stdout); err != nil {
+			return err
+		}
+		return waitServe(srv, stdout)
+	}
+
 	var data []float64
 	var dims []int
 	switch {
@@ -168,15 +240,6 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("one of -in or -dataset is required with -z")
 	}
 
-	coder, err := scdc.ParseEntropyCoder(*entropyArg)
-	if err != nil {
-		return err
-	}
-	opts := scdc.Options{Algorithm: alg, ErrorBound: *eb, RelativeBound: *rel,
-		Workers: *workers, Shards: *shards, Entropy: coder}
-	if *qp {
-		opts.QP = scdc.DefaultQP()
-	}
 	t0 := time.Now()
 	var stream []byte
 	var st *scdc.CompressStats
@@ -227,6 +290,100 @@ func run(args []string, stdout io.Writer) error {
 				fmt.Fprintf(stdout, "verify: QoI avg err=%.3g (bound %.3g)  deriv err=%.3g (bound %.3g)\n",
 					rep.AvgErr, rep.AvgBound, rep.MaxDerivErr, rep.DerivBound)
 			}
+		}
+	}
+	return waitServe(srv, stdout)
+}
+
+// startServe binds addr (when non-empty) and serves the registry's
+// exposition and profiling endpoints on it. The listener is live before
+// this returns, so a batch can be scraped while it runs.
+func startServe(addr string, reg *agg.Registry, stdout io.Writer) (*http.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	agg.Mount(mux, reg)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Fprintf(stdout, "serve: telemetry on http://%s/metrics\n", ln.Addr())
+	if testServeReady != nil {
+		testServeReady(ln.Addr().String())
+	}
+	return srv, nil
+}
+
+// waitServe blocks a -serve run after its batch completes, keeping the
+// telemetry endpoints up until SIGINT/SIGTERM (or the test stop seam).
+// Without -serve it returns immediately.
+func waitServe(srv *http.Server, stdout io.Writer) error {
+	if srv == nil {
+		return nil
+	}
+	fmt.Fprintln(stdout, "serve: batch complete, metrics live until interrupt")
+	stop := testServeStop
+	if stop == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(ch)
+		done := make(chan struct{})
+		go func() { <-ch; close(done) }()
+		stop = done
+	}
+	<-stop
+	return srv.Close()
+}
+
+// runBatch compresses every input file with the shared dims, dtype and
+// options, publishing each run into reg. With stats on it emits one
+// aggregate rendering (and optionally the scdc-agg/1 snapshot JSON)
+// instead of one span tree per input. Outputs land next to their inputs,
+// or inside outDir when -out names a directory.
+func runBatch(inputs []string, outDir, dtype, dimsArg string, opts scdc.Options, stats bool, statsPath string, reg *agg.Registry, stdout io.Writer) error {
+	dims, err := parseDims(dimsArg)
+	if err != nil {
+		return err
+	}
+	for _, path := range inputs {
+		data, err := readRaw(path, dtype, dims)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		stream, err := scdc.Compress(data, dims, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		dt := time.Since(t0)
+		outPath := path + ".scdc"
+		if outDir != "" {
+			outPath = filepath.Join(outDir, filepath.Base(path)+".scdc")
+		}
+		if err := os.WriteFile(outPath, stream, 0o644); err != nil {
+			return err
+		}
+		raw := len(data) * 8
+		fmt.Fprintf(stdout, "%s %v dims=%v %d -> %d bytes  CR=%.2f  %.1f MB/s\n",
+			outPath, opts.Algorithm, dims, raw, len(stream),
+			scdc.CompressionRatio(raw, len(stream)),
+			float64(raw)/1e6/dt.Seconds())
+	}
+	if stats && reg != nil {
+		fmt.Fprintf(stdout, "stats: aggregated %d inputs\n", len(inputs))
+		fmt.Fprint(stdout, reg.Render())
+		if statsPath != "" {
+			blob, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(statsPath, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "stats: wrote %s\n", statsPath)
 		}
 	}
 	return nil

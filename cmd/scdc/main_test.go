@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"scdc"
 )
@@ -193,5 +195,156 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-z", "-out", filepath.Join(t.TempDir(), "y")}, io.Discard); err == nil {
 		t.Error("missing -in/-dataset accepted")
+	}
+}
+
+// smoothBatchFiles writes n small raw f32 volumes of the same smooth
+// field family and returns their paths plus the dims string.
+func smoothBatchFiles(t *testing.T, n int) ([]string, string) {
+	t.Helper()
+	n0, n1, n2 := 8, 10, 12
+	paths := make([]string, n)
+	for f := 0; f < n; f++ {
+		vals := make([]float32, n0*n1*n2)
+		for i := range vals {
+			x := float64(i%n2) / float64(n2)
+			y := float64((i/n2)%n1) / float64(n1)
+			z := float64(i/(n1*n2)) / float64(n0)
+			vals[i] = float32(math.Sin(7*x+float64(f))*math.Cos(5*y) + 0.5*z*z)
+		}
+		paths[f] = writeRaw32(t, vals)
+	}
+	return paths, "8x10x12"
+}
+
+// TestRunBatchAggregateStats drives the positional batch path: three
+// inputs with -stats produce one aggregate rendering plus the scdc-agg/1
+// snapshot, not three span trees.
+func TestRunBatchAggregateStats(t *testing.T) {
+	paths, dims := smoothBatchFiles(t, 3)
+	snapPath := filepath.Join(t.TempDir(), "agg.json")
+	var buf strings.Builder
+	args := []string{"-z", "-dims", dims, "-eb", "0.01", "-qp",
+		"-stats", "-statsout", snapPath}
+	if err := run(append(args, paths...), &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "aggregated 3 inputs") {
+		t.Errorf("missing aggregate header:\n%s", got)
+	}
+	if !strings.Contains(got, "compress/SZ3") || !strings.Contains(got, "n=3") {
+		t.Errorf("aggregate rendering missing group/count:\n%s", got)
+	}
+	// One aggregate, not one tree per input: the per-run span tree prints
+	// each stage with a share column; the aggregate prints p50/p90/p99.
+	if !strings.Contains(got, "p99=") {
+		t.Errorf("aggregate quantiles missing:\n%s", got)
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p + ".scdc"); err != nil {
+			t.Errorf("batch output missing for %s: %v", p, err)
+		}
+	}
+	blob, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Schema string `json:"schema"`
+		Series []struct {
+			Name string `json:"name"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	if snap.Schema != "scdc-agg/1" || len(snap.Series) == 0 {
+		t.Errorf("snapshot incomplete: schema=%q series=%d", snap.Schema, len(snap.Series))
+	}
+}
+
+// TestRunServeScrape runs a -serve batch, scrapes /metrics and
+// /metrics.json while the server lingers, then releases it through the
+// test stop seam.
+func TestRunServeScrape(t *testing.T) {
+	paths, dims := smoothBatchFiles(t, 2)
+	addrCh := make(chan string, 1)
+	stop := make(chan struct{})
+	testServeReady = func(addr string) { addrCh <- addr }
+	testServeStop = stop
+	defer func() { testServeReady, testServeStop = nil, nil }()
+
+	errCh := make(chan error, 1)
+	var buf strings.Builder
+	go func() {
+		args := []string{"-z", "-dims", dims, "-eb", "0.01", "-qp", "-serve", "127.0.0.1:0"}
+		errCh <- run(append(args, paths...), &buf)
+	}()
+	addr := <-addrCh
+
+	// The batch publishes as it goes; poll until both ops have landed.
+	var text string
+	for i := 0; i < 200; i++ {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text = string(b)
+		if strings.Contains(text, `scdc_ops_total{algorithm="SZ3",op="compress"} 2`) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range []string{
+		`scdc_ops_total{algorithm="SZ3",op="compress"} 2`,
+		`# TYPE scdc_stage_ns histogram`,
+		`scdc_stage_ns_bucket{algorithm="SZ3",op="compress",stage="interp",le="+Inf"} 2`,
+		`# TYPE scdc_compression_ratio gauge`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	resp, err := http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Schema string `json:"schema"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil || snap.Schema != "scdc-agg/1" {
+		t.Errorf("/metrics.json: err=%v schema=%q", err, snap.Schema)
+	}
+
+	close(stop)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "serve: telemetry on http://") {
+		t.Errorf("serve banner missing:\n%s", buf.String())
+	}
+}
+
+// TestRunBatchFlagValidation pins the batch/serve-specific error paths.
+func TestRunBatchFlagValidation(t *testing.T) {
+	if err := run([]string{"-x", "-out", "y", "a.f32"}, io.Discard); err == nil {
+		t.Error("positional inputs with -x accepted")
+	}
+	if err := run([]string{"-x", "-in", "a.scdc", "-out", "y", "-serve", ":0"}, io.Discard); err == nil {
+		t.Error("-serve with -x accepted")
+	}
+	if err := run([]string{"-z", "-dataset", "Miranda", "a.f32"}, io.Discard); err == nil {
+		t.Error("positional inputs with -dataset accepted")
+	}
+	if err := run([]string{"-z", "a.f32"}, io.Discard); err == nil {
+		t.Error("batch without -dims accepted")
 	}
 }

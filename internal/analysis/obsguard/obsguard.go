@@ -1,13 +1,15 @@
 // Package obsguard enforces the two telemetry invariants of PR 3's
 // nil-means-off observation design:
 //
-//  1. Nil guard: an obs.Span/obs.Recorder method call whose arguments do
-//     real work (any non-builtin, non-conversion function call — think
+//  1. Nil guard: a method call on an obs.Span/obs.Recorder — or on the
+//     aggregation layer's agg.Registry/Histogram/Counter/Gauge, which
+//     follow the same nil-means-off contract — whose arguments do real
+//     work (any non-builtin, non-conversion function call — think
 //     huffman.EntropyBits(q) or fmt.Sprintf) must be dominated by a nil
 //     check on an obs value. The disabled path is contractually
-//     zero-cost (TestNilFastPathZeroAllocs pins it); an unguarded
-//     expensive argument silently pays the computation even when
-//     observation is off.
+//     zero-cost (TestNilFastPathZeroAllocs and
+//     TestNilRegistryZeroAllocs pin it); an unguarded expensive argument
+//     silently pays the computation even when observation is off.
 //
 //  2. Span lifecycle: every wall-clock span started in a function
 //     (sp.Child, rec.Span, or a helper returning *obs.Span) must be
@@ -52,9 +54,12 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// isObsType reports whether t is (a pointer to) a type of the obs
-// package named Span or Recorder. Matching by package name rather than
-// full path keeps the analyzer testable against fixture stand-ins.
+// isObsType reports whether t is (a pointer to) a nil-means-off
+// telemetry type: obs.Span / obs.Recorder, or the aggregation layer's
+// agg.Registry / agg.Histogram / agg.Counter / agg.Gauge, whose methods
+// (Publish, Observe, Add, Set) follow the same nil-receiver no-op
+// contract. Matching by package name rather than full path keeps the
+// analyzer testable against fixture stand-ins.
 func isObsType(t types.Type) bool {
 	if t == nil {
 		return false
@@ -63,12 +68,20 @@ func isObsType(t types.Type) bool {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "obs" {
+	if !ok || named.Obj().Pkg() == nil {
 		return false
 	}
-	switch named.Obj().Name() {
-	case "Span", "Recorder":
-		return true
+	switch named.Obj().Pkg().Name() {
+	case "obs":
+		switch named.Obj().Name() {
+		case "Span", "Recorder":
+			return true
+		}
+	case "agg":
+		switch named.Obj().Name() {
+		case "Registry", "Histogram", "Counter", "Gauge":
+			return true
+		}
 	}
 	return false
 }

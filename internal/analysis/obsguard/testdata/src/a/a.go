@@ -2,7 +2,10 @@
 // with and without nil guards, and span lifecycles in every shape.
 package a
 
-import "obs"
+import (
+	"agg"
+	"obs"
+)
 
 func entropyBits(data []float64) float64 {
 	total := 0.0
@@ -91,4 +94,32 @@ func HelperLeak(rec *obs.Recorder, fail bool) bool {
 func Accum(parent *obs.Span) {
 	acc := parent.ChildAccum("acc")
 	acc.AddSince(acc.Begin())
+}
+
+// UnguardedRegistry pays for entropyBits even when reg is nil: the
+// aggregation layer follows the same nil-means-off contract as spans.
+func UnguardedRegistry(data []float64, reg *agg.Registry) {
+	reg.Publish("compress", int64(entropyBits(data))) // want "outside a nil guard"
+	reg.Counter("ops").Add(1)
+}
+
+// GuardedRegistry wraps the expensive argument in the nil check.
+func GuardedRegistry(data []float64, reg *agg.Registry) {
+	if reg != nil {
+		reg.Publish("compress", int64(entropyBits(data)))
+	}
+}
+
+// UnguardedHistogram flags expensive Observe arguments too.
+func UnguardedHistogram(data []float64, h *agg.Histogram) {
+	h.Observe(int64(entropyBits(data))) // want "outside a nil guard"
+	h.Observe(int64(len(data)))
+}
+
+// GuardedHistogramEarly uses the early-return form of the guard.
+func GuardedHistogramEarly(data []float64, h *agg.Histogram) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(entropyBits(data)))
 }

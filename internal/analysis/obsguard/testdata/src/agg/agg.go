@@ -1,0 +1,38 @@
+// Package agg is a stand-in for the aggregation layer: the same type
+// names and method surface as internal/obs/agg, nil-receiver-safe by
+// contract. The analyzer matches agg types by package name, so fixtures
+// can use this local double instead of importing the real module.
+package agg
+
+// Registry is a stand-in metrics registry.
+type Registry struct{}
+
+// Publish folds one report into the registry.
+func (r *Registry) Publish(op string, ns int64) {}
+
+// Histogram returns a named histogram series.
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+// Counter returns a named counter series.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge returns a named gauge series.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram is a stand-in latency histogram.
+type Histogram struct{}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {}
+
+// Counter is a stand-in sharded counter.
+type Counter struct{}
+
+// Add increments the counter.
+func (c *Counter) Add(v int64) {}
+
+// Gauge is a stand-in last-value gauge.
+type Gauge struct{}
+
+// Set records the value.
+func (g *Gauge) Set(v float64) {}

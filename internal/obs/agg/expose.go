@@ -1,0 +1,316 @@
+package agg
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SnapshotSchema identifies the JSON wire schema of Snapshot.
+const SnapshotSchema = "scdc-agg/1"
+
+// SeriesSnapshot is one series of a registry snapshot. Counter and gauge
+// series carry Value; histogram series carry Count/Sum and the
+// interpolated p50/p90/p99 quantile estimates.
+type SeriesSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Type   string            `json:"type"`
+	Value  float64           `json:"value,omitempty"`
+	Count  int64             `json:"count,omitempty"`
+	Sum    int64             `json:"sum,omitempty"`
+	P50    int64             `json:"p50,omitempty"`
+	P90    int64             `json:"p90,omitempty"`
+	P99    int64             `json:"p99,omitempty"`
+}
+
+// Snapshot is the serializable registry state.
+type Snapshot struct {
+	Schema  string           `json:"schema"`
+	Series  []SeriesSnapshot `json:"series"`
+	Dropped int64            `json:"dropped_series,omitempty"`
+}
+
+// sortedSeries copies the live series list in deterministic (map key)
+// order. The key collection is sorted before use, so iteration order
+// never reaches the output.
+func (r *Registry) sortedSeries() []*series {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	keys := make([]string, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, len(keys))
+	for i, k := range keys {
+		out[i] = r.series[k]
+	}
+	r.mu.RUnlock()
+	return out
+}
+
+// Snapshot captures every series. Nil registries snapshot empty.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Schema: SnapshotSchema, Dropped: r.Dropped()}
+	for _, s := range r.sortedSeries() {
+		ss := SeriesSnapshot{Name: s.name, Type: s.kind.String()}
+		if len(s.labels) > 0 {
+			ss.Labels = make(map[string]string, len(s.labels))
+			for _, l := range s.labels {
+				ss.Labels[l.Key] = l.Value
+			}
+		}
+		switch s.kind {
+		case kindCounter:
+			ss.Value = float64(s.ctr.Value())
+		case kindGauge:
+			ss.Value = s.gauge.Value()
+		default:
+			h := s.hist.Snapshot()
+			ss.Count, ss.Sum = h.Count, h.Sum
+			ss.P50, ss.P90, ss.P99 = h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+		}
+		snap.Series = append(snap.Series, ss)
+	}
+	return snap
+}
+
+// promEscape escapes a label value for the Prometheus text format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels formats a label set (sorted by key), optionally with a
+// trailing le pair, as {k="v",...}. Empty sets format as "".
+func promLabels(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, promEscape(l.Value))
+	}
+	if le != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative le-bucketed samples over the non-empty log-2
+// buckets plus +Inf, _sum and _count. Output order is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastType := ""
+	for _, s := range r.sortedSeries() {
+		if header := s.name + " " + s.kind.String(); header != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind.String()); err != nil {
+				return err
+			}
+			lastType = header
+		}
+		var err error
+		switch s.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", s.name, promLabels(s.labels, ""), s.ctr.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %g\n", s.name, promLabels(s.labels, ""), s.gauge.Value())
+		default:
+			err = writePromHistogram(w, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if d := r.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE scdc_dropped_series_total counter\nscdc_dropped_series_total %d\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram series: cumulative buckets at
+// the upper bound of each non-empty log-2 bucket, then +Inf, _sum and
+// _count.
+func writePromHistogram(w io.Writer, s *series) error {
+	h := s.hist.Snapshot()
+	var cum int64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := bucketBounds(i)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.name, promLabels(s.labels, fmt.Sprintf("%d", hi)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, promLabels(s.labels, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", s.name, promLabels(s.labels, ""), h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, promLabels(s.labels, ""), h.Count)
+	return err
+}
+
+// MetricsHandler serves the Prometheus text format. Safe on a nil
+// registry (serves an empty exposition).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the Snapshot JSON (schema scdc-agg/1).
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// Mount registers the registry's exposition endpoints plus the standard
+// profiling handlers on mux: /metrics (Prometheus text), /metrics.json
+// (scdc-agg/1 snapshot), /debug/vars (expvar) and /debug/pprof/*. This
+// is the serving seam shared by `scdc -serve` and the future scdcd.
+func Mount(mux *http.ServeMux, r *Registry) {
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/metrics.json", r.JSONHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// renderBarWidth is the bar length of a full-share Render line.
+const renderBarWidth = 24
+
+// Render formats the aggregate state as an indented text tree in the
+// style of obs.Flamegraph, one group per (op, algorithm): the
+// whole-operation latency distribution, then each stage ordered by total
+// time with p50/p90/p99 and a bar proportional to its share of the
+// group's stage time.
+func (r *Registry) Render() string {
+	if r == nil {
+		return ""
+	}
+	type stageRow struct {
+		stage string
+		snap  HistSnapshot
+	}
+	type group struct {
+		key    string // "op/algorithm"
+		op     HistSnapshot
+		ops    int64
+		ratio  float64
+		bpv    float64
+		stages []stageRow
+	}
+	groups := make(map[string]*group)
+	order := []string{}
+	groupOf := func(labels []Label) *group {
+		var alg, op string
+		for _, l := range labels {
+			switch l.Key {
+			case "algorithm":
+				alg = l.Value
+			case "op":
+				op = l.Value
+			}
+		}
+		key := op + "/" + alg
+		g := groups[key]
+		if g == nil {
+			g = &group{key: key}
+			groups[key] = g
+			order = append(order, key)
+		}
+		return g
+	}
+	for _, s := range r.sortedSeries() {
+		switch s.name {
+		case MetricOps:
+			groupOf(s.labels).ops = s.ctr.Value()
+		case MetricOpNS:
+			groupOf(s.labels).op = s.hist.Snapshot()
+		case MetricRatio:
+			groupOf(s.labels).ratio = s.gauge.Value()
+		case MetricBitsPerValue:
+			groupOf(s.labels).bpv = s.gauge.Value()
+		case MetricStageNS:
+			g := groupOf(s.labels)
+			stage := ""
+			for _, l := range s.labels {
+				if l.Key == "stage" {
+					stage = l.Value
+				}
+			}
+			g.stages = append(g.stages, stageRow{stage, s.hist.Snapshot()})
+		}
+	}
+	var b strings.Builder
+	for _, key := range order {
+		g := groups[key]
+		fmt.Fprintf(&b, "%-38s n=%-6d p50=%-9s p99=%s", g.key, g.ops,
+			time.Duration(g.op.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(g.op.Quantile(0.99)).Round(time.Microsecond))
+		if g.ratio > 0 {
+			fmt.Fprintf(&b, "  CR=%.2f bits/value=%.3f", g.ratio, g.bpv)
+		}
+		b.WriteByte('\n')
+		sort.Slice(g.stages, func(i, j int) bool {
+			if g.stages[i].snap.Sum != g.stages[j].snap.Sum {
+				return g.stages[i].snap.Sum > g.stages[j].snap.Sum
+			}
+			return g.stages[i].stage < g.stages[j].stage
+		})
+		var total int64
+		for _, st := range g.stages {
+			total += st.snap.Sum
+		}
+		if total <= 0 {
+			total = 1
+		}
+		for _, st := range g.stages {
+			frac := float64(st.snap.Sum) / float64(total)
+			bar := strings.Repeat("█", int(frac*renderBarWidth+0.5))
+			fmt.Fprintf(&b, "  %-36s n=%-6d p50=%-9s p90=%-9s p99=%-9s %5.1f%% %s\n",
+				st.stage, st.snap.Count,
+				time.Duration(st.snap.Quantile(0.50)).Round(time.Microsecond),
+				time.Duration(st.snap.Quantile(0.90)).Round(time.Microsecond),
+				time.Duration(st.snap.Quantile(0.99)).Round(time.Microsecond),
+				100*frac, bar)
+		}
+	}
+	return b.String()
+}

@@ -41,6 +41,18 @@ func (r *Report) Find(name string) *Report {
 	return nil
 }
 
+// Walk calls fn for every node of the subtree in depth-first, top-down
+// order (the root first). Nil reports walk nothing.
+func (r *Report) Walk(fn func(*Report)) {
+	if r == nil {
+		return
+	}
+	fn(r)
+	for _, c := range r.Children {
+		c.Walk(fn)
+	}
+}
+
 // Counter returns counter name summed over the subtree rooted at the
 // first span matching span (Find semantics); 0 when absent.
 func (r *Report) Counter(span, name string) int64 {

@@ -1,0 +1,118 @@
+package transfer
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"scdc/internal/datagen"
+	"scdc/internal/obs"
+	"scdc/internal/obs/agg"
+	"scdc/internal/parallel"
+	"scdc/internal/sz3"
+)
+
+// LoadConfig parameterizes a concurrent-stream load run: Streams
+// goroutines each compress Ops synthetic RTM slices back to back,
+// publishing every operation into an aggregation registry. This is the
+// simulator-side workload behind the PR's exposition soak test: a
+// registry being scraped over /metrics while 1, 8 or 64 streams publish
+// into it.
+type LoadConfig struct {
+	// Streams is the number of concurrent compression streams.
+	Streams int
+	// Ops is the number of slices each stream compresses.
+	Ops int
+	// SliceDims is the geometry of one slice (nil = reduced RTM dims).
+	SliceDims []int
+	// ErrorBound is the absolute error bound for compression.
+	ErrorBound float64
+	// Seed controls slice synthesis.
+	Seed int64
+}
+
+// LoadResult summarizes a load run.
+type LoadResult struct {
+	// Streams and Ops echo the configuration; Ops is the total operation
+	// count across all streams.
+	Streams, Ops int
+	// WallSec is the wall-clock duration of the whole run.
+	WallSec float64
+	// OpsPerSec is Ops / WallSec.
+	OpsPerSec float64
+	// MBps is the aggregate raw-byte compression throughput.
+	MBps float64
+	// CR is the aggregate compression ratio (total raw / total stream).
+	CR float64
+}
+
+// Load runs the concurrent-stream workload, publishing every observed
+// compression into reg (nil disables aggregation without changing the
+// work done). Each operation records a full per-stage span tree, so the
+// registry ends up with per-stage latency distributions under genuine
+// publisher concurrency.
+func Load(cfg LoadConfig, reg *agg.Registry) (LoadResult, error) {
+	if cfg.Streams <= 0 || cfg.Ops <= 0 {
+		return LoadResult{}, fmt.Errorf("%w: Streams and Ops must be positive", ErrBadConfig)
+	}
+	if cfg.SliceDims == nil {
+		cfg.SliceDims = datagen.RTM.Spec().Dims
+	}
+	if !(cfg.ErrorBound > 0) || math.IsInf(cfg.ErrorBound, 0) {
+		return LoadResult{}, fmt.Errorf("%w: ErrorBound must be positive", ErrBadConfig)
+	}
+
+	type totals struct {
+		raw, stream int64
+		err         error
+	}
+	t0 := time.Now()
+	perStream := parallel.Map(cfg.Streams, cfg.Streams, func(s int) totals {
+		var t totals
+		for op := 0; op < cfg.Ops; op++ {
+			f := datagen.MustGenerate(datagen.RTM, s*cfg.Ops+op, cfg.SliceDims, cfg.Seed)
+			rec := obs.New()
+			sp := rec.Span("compress")
+			o := sz3.DefaultOptions(cfg.ErrorBound).WithQP()
+			o.Obs = sp
+			payload, err := sz3.Compress(f, o)
+			sp.End()
+			if err != nil {
+				t.err = err
+				return t
+			}
+			raw := int64(len(f.Data) * 8)
+			t.raw += raw
+			t.stream += int64(len(payload))
+			reg.Publish(agg.Meta{
+				Op:           "compress",
+				Algorithm:    "SZ3",
+				Points:       len(f.Data),
+				RawBytes:     raw,
+				StreamBytes:  int64(len(payload)),
+				Ratio:        float64(raw) / float64(len(payload)),
+				BitsPerValue: 8 * float64(len(payload)) / float64(len(f.Data)),
+			}, rec.Report())
+		}
+		return t
+	})
+	wall := time.Since(t0).Seconds()
+
+	res := LoadResult{Streams: cfg.Streams, Ops: cfg.Streams * cfg.Ops, WallSec: wall}
+	var raw, stream int64
+	for _, t := range perStream {
+		if t.err != nil {
+			return res, t.err
+		}
+		raw += t.raw
+		stream += t.stream
+	}
+	if wall > 0 {
+		res.OpsPerSec = float64(res.Ops) / wall
+		res.MBps = float64(raw) / 1e6 / wall
+	}
+	if stream > 0 {
+		res.CR = float64(raw) / float64(stream)
+	}
+	return res, nil
+}

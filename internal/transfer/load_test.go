@@ -1,0 +1,150 @@
+package transfer
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"scdc/internal/obs/agg"
+)
+
+// TestLoadPublishes runs the load generator at 1, 8 and 64 streams
+// against a live registry while a scraper hits the mounted /metrics
+// endpoint, mirroring the scdc -serve deployment: publication under
+// concurrency must neither race nor drop operations.
+func TestLoadPublishes(t *testing.T) {
+	for _, streams := range []int{1, 8, 64} {
+		t.Run(fmt.Sprintf("streams=%d", streams), func(t *testing.T) {
+			reg := agg.New()
+			mux := http.NewServeMux()
+			agg.Mount(mux, reg)
+			srv := httptest.NewServer(mux)
+			defer srv.Close()
+
+			// Scrape concurrently with the load until the load finishes.
+			done := make(chan struct{})
+			scraped := make(chan string, 1)
+			go func() {
+				defer close(scraped)
+				var last string
+				for {
+					select {
+					case <-done:
+						scraped <- last
+						return
+					default:
+					}
+					resp, err := http.Get(srv.URL + "/metrics")
+					if err != nil {
+						continue
+					}
+					b, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					last = string(b)
+				}
+			}()
+
+			cfg := LoadConfig{
+				Streams: streams, Ops: 2,
+				SliceDims:  []int{8, 10, 12},
+				ErrorBound: 1e-3,
+				Seed:       1,
+			}
+			res, err := Load(cfg, reg)
+			close(done)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != streams*2 {
+				t.Errorf("ops %d, want %d", res.Ops, streams*2)
+			}
+			if res.CR <= 1 {
+				t.Errorf("CR %.2f, want > 1", res.CR)
+			}
+
+			wantOps := int64(streams * 2)
+			got := reg.Counter(agg.MetricOps,
+				agg.Label{Key: "algorithm", Value: "SZ3"},
+				agg.Label{Key: "op", Value: "compress"}).Value()
+			if got != wantOps {
+				t.Errorf("registry ops %d, want %d", got, wantOps)
+			}
+			if n := reg.Histogram(agg.MetricOpNS,
+				agg.Label{Key: "algorithm", Value: "SZ3"},
+				agg.Label{Key: "op", Value: "compress"}).Count(); n != wantOps {
+				t.Errorf("op latency observations %d, want %d", n, wantOps)
+			}
+
+			// The final scrape (taken after the last publish) must expose the
+			// complete count in Prometheus form.
+			<-scraped // drain the in-flight value
+			resp, err := http.Get(srv.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprintf(`scdc_ops_total{algorithm="SZ3",op="compress"} %d`, wantOps)
+			if !strings.Contains(string(b), want) {
+				t.Errorf("/metrics missing %q", want)
+			}
+		})
+	}
+}
+
+// TestLoadNilRegistry pins that the load runs identically with
+// aggregation disabled.
+func TestLoadNilRegistry(t *testing.T) {
+	res, err := Load(LoadConfig{Streams: 2, Ops: 1, SliceDims: []int{8, 10, 12}, ErrorBound: 1e-3, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2 || res.CR <= 1 {
+		t.Errorf("unexpected result: %+v", res)
+	}
+}
+
+func TestLoadConfigValidation(t *testing.T) {
+	if _, err := Load(LoadConfig{Streams: 0, Ops: 1, ErrorBound: 1e-3}, nil); err == nil {
+		t.Error("zero streams accepted")
+	}
+	if _, err := Load(LoadConfig{Streams: 1, Ops: 0, ErrorBound: 1e-3}, nil); err == nil {
+		t.Error("zero ops accepted")
+	}
+	if _, err := Load(LoadConfig{Streams: 1, Ops: 1}, nil); err == nil {
+		t.Error("missing error bound accepted")
+	}
+}
+
+// BenchmarkTransferStreams measures aggregate publish throughput at the
+// PR's three concurrency points, scraping once per iteration so the
+// numbers include exposition contention.
+func BenchmarkTransferStreams(b *testing.B) {
+	for _, streams := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			reg := agg.New()
+			cfg := LoadConfig{
+				Streams: streams, Ops: 1,
+				SliceDims:  []int{8, 10, 12},
+				ErrorBound: 1e-3,
+				Seed:       1,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Load(cfg, reg); err != nil {
+					b.Fatal(err)
+				}
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -22,9 +22,15 @@ import (
 // is a fully independent stream, so a chunked container also supports
 // partial decompression by chunk.
 func CompressChunked(data []float64, dims []int, opts Options, workers, chunkExtent int) ([]byte, error) {
+	if opts.Metrics != nil && opts.Observer == nil {
+		opts.Observer = obs.New()
+	}
 	sp := opts.Observer.Span("compress_chunked")
 	out, err := compressChunkedSpan(data, dims, opts, workers, chunkExtent, sp)
 	sp.End()
+	if err == nil && opts.Metrics != nil {
+		newStats("compress_chunked", opts.Algorithm, dims, len(data), len(out), sp.Report()).Publish(opts.Metrics)
+	}
 	return out, err
 }
 
@@ -50,6 +56,7 @@ func compressChunkedSpan(data []float64, dims []int, opts Options, workers, chun
 	chunkOpts.ErrorBound = eb
 	chunkOpts.RelativeBound = 0
 	chunkOpts.Observer = nil // chunks record under sp, not a fresh top span
+	chunkOpts.Metrics = nil  // the whole chunked op publishes once, not per chunk
 
 	if workers <= 0 {
 		workers = 1

@@ -38,6 +38,7 @@ import (
 	"scdc/internal/hpez"
 	"scdc/internal/mgard"
 	"scdc/internal/obs"
+	"scdc/internal/obs/agg"
 	"scdc/internal/qoz"
 	"scdc/internal/sperr"
 	"scdc/internal/sz3"
@@ -210,6 +211,14 @@ type Options struct {
 	// zero hot-path cost. The produced stream is byte-identical with
 	// observation on or off.
 	Observer *obs.Recorder
+	// Metrics, when non-nil, aggregates every Compress/CompressChunked call
+	// made with these options into process-level series: per-stage latency
+	// histograms, byte counters and compression-ratio/bit-rate gauges keyed
+	// by (algorithm, op, stage). When Observer is nil a private recorder is
+	// created per call to source the stage timings. Nil disables
+	// aggregation at zero hot-path cost, and the produced stream is
+	// byte-identical with aggregation on or off.
+	Metrics *agg.Registry
 }
 
 // Result is a decompressed field.
@@ -300,9 +309,15 @@ const maxPointsPerByte = 1 << 17
 // Compress compresses a row-major field with the given dims (1 to 4
 // dimensions, first dim slowest).
 func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
+	if opts.Metrics != nil && opts.Observer == nil {
+		opts.Observer = obs.New()
+	}
 	sp := opts.Observer.Span("compress")
 	out, err := compressSpan(data, dims, opts, sp)
 	sp.End()
+	if err == nil && opts.Metrics != nil {
+		newStats("compress", opts.Algorithm, dims, len(data), len(out), sp.Report()).Publish(opts.Metrics)
+	}
 	return out, err
 }
 

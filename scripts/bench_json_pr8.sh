@@ -1,0 +1,96 @@
+#!/bin/sh
+# bench_json_pr8.sh STATS_JSON RAW_OUTPUT > BENCH_pr8.json
+#
+# Assembles the telemetry-aggregation PR's benchmark snapshot from two
+# inputs captured by `make bench-pr8`:
+#   $1  scdc-stats/1 JSON written by `scdc -z ... -stats` (per-stage ns,
+#       same command as the PR 7 snapshot so every stage is comparable —
+#       this is also what `make gate` compares against BENCH_pr7.json)
+#   $2  raw text holding the BenchmarkMetricsOverhead (registry on/off),
+#       BenchmarkRegistryPublish/Scrape and BenchmarkTransferStreams
+#       output plus the zero-alloc guard test log
+set -eu
+stats=$1
+raw=$2
+
+cpu=$(sed -n 's/^cpu: //p' "$raw" | head -1)
+gover=$(go version | awk '{print $3 " " $4}')
+ncpu=$(nproc 2>/dev/null || echo unknown)
+
+summary=$(awk -F'"' '/"op"|"algorithm"|"schema"/ {print $4}' "$stats" | paste -sd' ' -)
+ratio=$(sed -n 's/^  "ratio": \([0-9.]*\),*$/\1/p' "$stats")
+bpv=$(sed -n 's/^  "bits_per_value": \([0-9.]*\),*$/\1/p' "$stats")
+
+off=$(awk '/^BenchmarkMetricsOverhead\/registry=off/ {print $3; exit}' "$raw")
+on=$(awk '/^BenchmarkMetricsOverhead\/registry=on/ {print $3; exit}' "$raw")
+
+cat <<EOF
+{
+  "description": "Telemetry-aggregation snapshot for the metrics-registry PR. Stages come from the scdc-stats/1 report of 'scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp -stats' (identical command to the PR 7 snapshot; cmd/benchgate gates this file against results/BENCH_pr7.json). registry_overhead compares the same compression with Options.Metrics off vs publishing into a live agg.Registry; registry_bench isolates Publish and the Prometheus exposition scrape; transfer_bench drives 1/8/64 concurrent publisher streams through the load generator with a scrape per iteration.",
+  "machine": {
+    "cpu": "$cpu",
+    "cpus_online": $ncpu,
+    "go": "$gover",
+    "date": "$(date +%Y-%m-%d)"
+  },
+  "command": "make bench-pr8",
+  "run": {
+    "stats": "$summary",
+    "ratio": ${ratio:-0},
+    "bits_per_value": ${bpv:-0}
+  },
+  "stage_ns": {
+EOF
+
+# Top-level report fields sit at 4-space indent, direct children of the
+# root span at 8 spaces, grandchildren deeper — so matching exactly 8
+# leading spaces yields the pipeline stages without nested pass spans.
+awk '
+/^        "name": / { split($0, a, "\""); name = a[4]; next }
+/^        "ns": /   {
+    ns = $2; sub(/,$/, "", ns)
+    line = sprintf("    \"%s\": %s", name, ns)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$stats"
+
+cat <<EOF
+  },
+  "registry_overhead": {
+    "off_ns_op": ${off:-0},
+    "on_ns_op": ${on:-0},
+    "overhead_pct": $(awk "BEGIN { o=${off:-0}; n=${on:-0}; if (o > 0) printf \"%.2f\", 100*(n-o)/o; else print 0 }")
+  },
+  "registry_bench": {
+EOF
+
+awk '/^BenchmarkRegistry(Publish|Scrape)/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("    \"%s\": {\"ns_op\": %s}", name, $3)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$raw"
+
+cat <<EOF
+  },
+  "transfer_bench": {
+EOF
+
+awk '/^BenchmarkTransferStreams/ {
+    name = $1
+    sub(/^BenchmarkTransferStreams\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("    \"%s\": {\"ns_op\": %s}", name, $3)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$raw"
+
+cat <<EOF
+  }
+}
+EOF

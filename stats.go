@@ -2,6 +2,7 @@ package scdc
 
 import (
 	"scdc/internal/obs"
+	"scdc/internal/obs/agg"
 )
 
 // StatsSchema identifies the JSON wire schema of CompressStats. The
@@ -58,6 +59,26 @@ func newStats(op string, alg Algorithm, dims []int, points, streamBytes int, rep
 		s.BitsPerValue = 8 * float64(streamBytes) / float64(points)
 	}
 	return s
+}
+
+// Publish folds the stats into an aggregation registry: the stream-level
+// summary lands in the per-(algorithm, op) counters and gauges, and every
+// span of the report becomes an observation in the per-stage latency
+// histograms. Nil stats and nil registries no-op, so callers can publish
+// unconditionally.
+func (s *CompressStats) Publish(reg *agg.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.Publish(agg.Meta{
+		Op:           s.Op,
+		Algorithm:    s.Algorithm,
+		Points:       s.Points,
+		RawBytes:     s.RawBytes,
+		StreamBytes:  s.StreamBytes,
+		Ratio:        s.Ratio,
+		BitsPerValue: s.BitsPerValue,
+	}, s.Report)
 }
 
 // CompressWithStats is Compress plus a telemetry summary of the call: the

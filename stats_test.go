@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"scdc/internal/obs"
+	"scdc/internal/obs/agg"
 )
 
 func statsTestField(n0, n1, n2 int) ([]float64, []int) {
@@ -241,6 +242,110 @@ func TestDecompressObservedStages(t *testing.T) {
 		if plain.Data[i] != res.Data[i] {
 			t.Fatalf("observed decompression diverges at %d", i)
 		}
+	}
+}
+
+// TestRegistryByteIdentity pins that aggregation never changes the
+// produced stream, for every algorithm and for the chunked container —
+// the same contract TestObserverByteIdentity pins for span observation.
+func TestRegistryByteIdentity(t *testing.T) {
+	data, dims := statsTestField(16, 20, 24)
+	reg := agg.New()
+	for alg := SZ3; alg < numAlgorithms; alg++ {
+		opts := Options{Algorithm: alg, ErrorBound: 1e-3, Workers: 3, Shards: 2}
+		if alg.SupportsQP() {
+			opts.QP = DefaultQP()
+		}
+		plain, err := Compress(data, dims, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		opts.Metrics = reg
+		metered, err := Compress(data, dims, opts)
+		if err != nil {
+			t.Fatalf("%v metered: %v", alg, err)
+		}
+		if !bytes.Equal(plain, metered) {
+			t.Errorf("%v: metered stream differs from plain stream", alg)
+		}
+		if got := reg.Counter(agg.MetricOps,
+			agg.Label{Key: "algorithm", Value: alg.String()},
+			agg.Label{Key: "op", Value: "compress"}).Value(); got != 1 {
+			t.Errorf("%v: ops counter %d, want 1", alg, got)
+		}
+	}
+
+	opts := Options{Algorithm: SZ3, ErrorBound: 1e-3, QP: DefaultQP()}
+	plain, err := CompressChunked(data, dims, opts, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Metrics = reg
+	metered, err := CompressChunked(data, dims, opts, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, metered) {
+		t.Error("chunked: metered stream differs from plain stream")
+	}
+	chunkedOps := agg.Label{Key: "op", Value: "compress_chunked"}
+	if got := reg.Counter(agg.MetricOps,
+		agg.Label{Key: "algorithm", Value: "SZ3"}, chunkedOps).Value(); got != 1 {
+		t.Errorf("chunked ops counter %d, want 1 (chunks must not publish individually)", got)
+	}
+	if got := reg.Histogram(agg.MetricStageNS,
+		agg.Label{Key: "algorithm", Value: "SZ3"}, chunkedOps,
+		agg.Label{Key: "stage", Value: "chunk"}).Count(); got == 0 {
+		t.Error("chunked compress published no chunk stage observations")
+	}
+}
+
+// TestNilMetricsCompressZeroAllocs pins that a nil registry adds zero
+// allocations to Compress, alongside the nil-Span pin in internal/obs:
+// the Options.Metrics branch must be a plain nil check on the hot path.
+func TestNilMetricsCompressZeroAllocs(t *testing.T) {
+	data, dims := statsTestField(8, 8, 8)
+	_, st, err := CompressWithStats(data, dims, Options{Algorithm: SZ3, ErrorBound: 1e-2, QP: DefaultQP()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything Compress adds for aggregation beyond its two pointer
+	// tests is this publish call; with a nil registry (and nil stats) it
+	// must cost nothing.
+	var reg *agg.Registry
+	var nilStats *CompressStats
+	if a := testing.AllocsPerRun(1000, func() {
+		st.Publish(reg)
+		nilStats.Publish(nil)
+	}); a != 0 {
+		t.Fatalf("nil-registry publish allocates %.1f/op, want 0", a)
+	}
+}
+
+// BenchmarkMetricsOverhead measures the cost of publishing every
+// compression into an aggregation registry versus running bare, the
+// registry-level analogue of BenchmarkObserverOverhead.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	data, dims := statsTestField(32, 32, 32)
+	for _, metered := range []bool{false, true} {
+		name := "registry=off"
+		if metered {
+			name = "registry=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := Options{Algorithm: SZ3, ErrorBound: 1e-2, QP: DefaultQP()}
+			if metered {
+				opts.Metrics = agg.New()
+			}
+			b.SetBytes(int64(8 * len(data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compress(data, dims, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
