@@ -12,7 +12,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint lint-fixtures race check gate bench bench-pr3 bench-pr5 bench-pr6 bench-pr7 bench-pr8 fuzz-smoke cover
+.PHONY: all build test vet lint lint-fixtures lint-gc race check gate bench bench-pr3 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 fuzz-smoke cover
 
 all: check
 
@@ -25,7 +25,7 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Project-specific invariants (DESIGN.md §10): scdclint's five analyzers
+# Project-specific invariants (DESIGN.md §10): scdclint's seven analyzers
 # over the codec packages, plus a gofmt cleanliness check.
 lint:
 	$(GO) run ./cmd/scdclint
@@ -39,6 +39,15 @@ lint:
 # build instead of quietly passing everything.
 lint-fixtures:
 	$(GO) run ./cmd/scdclint -fixtures
+
+# Compiler-diagnostic gate (DESIGN.md §15): every //scdc:inline,
+# //scdc:noalloc and //scdc:nobounds directive in the hot packages is
+# checked against the compiler's real -m=2 / check_bce output. The gate
+# pins the diagnostic grammar to go1.22–go1.24; on any other toolchain
+# scdcgc prints a skip notice and exits 0 rather than guessing at
+# unverified wording.
+lint-gc:
+	$(GO) run ./cmd/scdcgc
 
 race:
 	$(GO) test -race ./...
@@ -101,6 +110,30 @@ bench-pr8:
 	@rm -f results/bench_pr8.scdc
 	@echo wrote results/BENCH_pr8.json
 
+# Performance-invariant snapshot: the same observed compression as
+# bench-pr8 (so every stage is an apples-to-apples before/after against
+# results/BENCH_pr8.json — the comparison `make gate` performs) plus the
+# entropy-coder rows measured twice: once as built (the BCE-clean
+# kernels after this PR's fixes) and once with the SSA prove pass
+# disabled, which is the compiler's closest stand-in for the
+# pre-directive state where every hot-loop load and store carried its
+# bounds check.
+bench-pr9:
+	@mkdir -p results
+	$(GO) run ./cmd/scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp \
+	    -out results/bench_pr9.scdc -stats -statsout results/bench_pr9.stats.json \
+	    | tee results/bench_pr9_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkEntropyCoders' -benchtime 20x . \
+	    | tee -a results/bench_pr9_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkEntropyCoders' -benchtime 20x \
+	    -gcflags 'all=-d=ssa/prove/off' . \
+	    | sed 's/^BenchmarkEntropyCoders/BenchmarkProveOffEntropyCoders/' \
+	    | tee -a results/bench_pr9_raw.txt
+	sh scripts/bench_json_pr9.sh results/bench_pr9.stats.json results/bench_pr9_raw.txt \
+	    > results/BENCH_pr9.json
+	@rm -f results/bench_pr9.scdc
+	@echo wrote results/BENCH_pr9.json
+
 cover:
 	$(GO) test -cover ./...
 
@@ -110,7 +143,7 @@ cover:
 gate:
 	$(GO) run ./cmd/benchgate -dir results
 
-check: build test vet lint lint-fixtures race fuzz-smoke gate
+check: build test vet lint lint-fixtures lint-gc race fuzz-smoke gate
 
 bench: bench-pr3 bench-pr5
 	@mkdir -p results

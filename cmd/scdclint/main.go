@@ -1,8 +1,9 @@
-// Command scdclint runs the project's static-analysis suite: five
+// Command scdclint runs the project's static-analysis suite: seven
 // analyzers that machine-check invariants the test suite can only probe
 // (stream determinism, typed error sentinels, bounded decode-path
-// allocation, nil-guarded observation, pooled-scratch hygiene). See
-// DESIGN.md §10 for the invariant catalog.
+// allocation, nil-guarded observation, pooled-scratch hygiene, parallel
+// closure purity, hot-path construct bans). See DESIGN.md §10 and §15
+// for the invariant catalog.
 //
 // Usage:
 //
@@ -10,15 +11,16 @@
 //	scdclint -fixtures                    self-test: each analyzer must
 //	                                      fire on its own positive fixtures
 //
-// With no analyzer names, all five run. Exit status is 1 when any
-// diagnostic is reported (or, under -fixtures, when any analyzer stays
-// silent on fixtures built to trip it).
+// With no analyzer names, the whole suite runs. Exit status is 1 when
+// any diagnostic is reported (or, under -fixtures, when any analyzer
+// stays silent on fixtures built to trip it).
 //
 // The suite is intentionally dependency-free: it drives the stdlib
 // go/parser + go/types (source importer) through internal/analysis
 // rather than golang.org/x/tools, which this build environment cannot
 // fetch. The Analyzer/Pass surface mirrors go/analysis so a future
-// migration is mechanical.
+// migration is mechanical. The analyzer and package registry lives in
+// internal/analysis/suite, shared with the scdclint:ignore audit.
 package main
 
 import (
@@ -31,48 +33,16 @@ import (
 	"strings"
 
 	"scdc/internal/analysis"
-	"scdc/internal/analysis/alloccap"
-	"scdc/internal/analysis/errsentinel"
 	"scdc/internal/analysis/load"
-	"scdc/internal/analysis/obsguard"
-	"scdc/internal/analysis/poolreturn"
-	"scdc/internal/analysis/streamdeterminism"
+	"scdc/internal/analysis/suite"
 )
 
-// analyzers is the full suite, in reporting order.
-var analyzers = []*analysis.Analyzer{
-	streamdeterminism.Analyzer,
-	errsentinel.Analyzer,
-	alloccap.Analyzer,
-	obsguard.Analyzer,
-	poolreturn.Analyzer,
-}
-
-// lintPkgs is the set of import paths each analyzer runs over: the
-// public package plus every internal package that produces or consumes
-// compressed streams. cmd/* binaries and the analysis suite itself are
-// out of scope; test files are never loaded.
-var lintPkgs = []string{
-	"scdc",
-	"scdc/internal/bitstream",
-	"scdc/internal/core",
-	"scdc/internal/entropy",
-	"scdc/internal/hpez",
-	"scdc/internal/huffman",
-	"scdc/internal/interp",
-	"scdc/internal/lattice",
-	"scdc/internal/lossless",
-	"scdc/internal/mgard",
-	"scdc/internal/predictor",
-	"scdc/internal/qoz",
-	"scdc/internal/quantizer",
-	"scdc/internal/rice",
-	"scdc/internal/sperr",
-	"scdc/internal/sz3",
-	"scdc/internal/transform",
-	"scdc/internal/tthresh",
-	"scdc/internal/zfp",
-}
+// analyzers and lintPkgs alias the shared registry; see
+// internal/analysis/suite.
+var (
+	analyzers = suite.Analyzers
+	lintPkgs  = suite.Packages
+)
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -140,11 +110,7 @@ func lint(root string, selected []*analysis.Analyzer, stdout, stderr io.Writer) 
 	loader := load.NewLoader()
 	findings := 0
 	for _, pkgPath := range lintPkgs {
-		dir := root
-		if pkgPath != "scdc" {
-			dir = filepath.Join(root, strings.TrimPrefix(pkgPath, "scdc/"))
-		}
-		pkg, err := loader.LoadDir(dir, pkgPath)
+		pkg, err := loader.LoadDir(suite.Dir(root, pkgPath), pkgPath)
 		if err != nil {
 			fmt.Fprintf(stderr, "scdclint: load %s: %v\n", pkgPath, err)
 			return 2

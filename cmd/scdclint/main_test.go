@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// run is exercised directly (the cmd/scdc pattern): every exit path of
+// the flag handling and mode selection gets a smoke test, and one real
+// lint pass runs the fast analyzers over the actual module.
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -list: exit %d, stderr %q", code, errOut.String())
+	}
+	for _, a := range analyzers {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, out.String())
+		}
+	}
+	if len(analyzers) != 7 {
+		t.Errorf("suite has %d analyzers, want 7", len(analyzers))
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"nosuchanalyzer"}, &out, &errOut); code != 2 {
+		t.Fatalf("run with unknown analyzer: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr %q does not name the unknown analyzer", errOut.String())
+	}
+	// The error lists the valid names so the fix is one copy-paste away.
+	if !strings.Contains(errOut.String(), "parallelpure") {
+		t.Errorf("stderr %q does not list known analyzers", errOut.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("run with bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestLintBadRoot(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", t.TempDir()}, &out, &errOut); code != 2 {
+		t.Fatalf("run with empty root: exit %d, want 2 (load failure)", code)
+	}
+	if !strings.Contains(errOut.String(), "load") {
+		t.Errorf("stderr %q does not report the load failure", errOut.String())
+	}
+}
+
+func TestFixturesBadRoot(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", t.TempDir(), "-fixtures", "parallelpure"}, &out, &errOut); code != 1 {
+		t.Fatalf("run -fixtures with empty root: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "no fixtures") {
+		t.Errorf("stderr %q does not report missing fixtures", errOut.String())
+	}
+}
+
+func TestFixturesMode(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", "../..", "-fixtures", "parallelpure", "hotpath"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -fixtures: exit %d, stderr %q", code, errOut.String())
+	}
+	for _, name := range []string{"parallelpure", "hotpath"} {
+		if !strings.Contains(out.String(), name+" fires on its fixtures") {
+			t.Errorf("fixtures output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestLintModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", "../..", "parallelpure", "hotpath"}, &out, &errOut); code != 0 {
+		t.Fatalf("lint: exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}

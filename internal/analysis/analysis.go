@@ -92,6 +92,18 @@ func (p *Pass) Inspect(fn func(ast.Node) bool) {
 // diagnostics with scdclint:ignore suppressions applied, sorted by
 // position.
 func Run(pkg *load.Package, a *Analyzer) ([]Diagnostic, error) {
+	diags, err := RunRaw(pkg, a)
+	if err != nil {
+		return nil, err
+	}
+	return suppress(pkg, a.Name, diags), nil
+}
+
+// RunRaw executes the analyzer like Run but skips scdclint:ignore
+// suppression, returning every diagnostic sorted by position. The ignore
+// audit uses it to prove that each ignore directive still masks a live
+// diagnostic.
+func RunRaw(pkg *load.Package, a *Analyzer) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
@@ -102,7 +114,7 @@ func Run(pkg *load.Package, a *Analyzer) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
 	}
-	diags := suppress(pkg, a.Name, pass.diags)
+	diags := pass.diags
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -116,10 +128,23 @@ func Run(pkg *load.Package, a *Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// suppress drops diagnostics whose line (or the line above) carries a
-// matching scdclint:ignore comment.
-func suppress(pkg *load.Package, name string, diags []Diagnostic) []Diagnostic {
-	ignored := make(map[string]map[int]bool) // filename -> lines with a matching ignore
+// Ignore is one parsed scdclint:ignore directive.
+type Ignore struct {
+	// Pos is the position of the directive comment itself.
+	Pos token.Position
+	// Target is the analyzer name the directive suppresses, or "all".
+	Target string
+	// Reason is the free text after the " -- " separator ("" when the
+	// directive omits it).
+	Reason string
+}
+
+// Ignores returns every scdclint:ignore directive in the package, in
+// source order. Suppression (suppress) and the ignore audit both consume
+// this single parse, so they can never disagree about what counts as a
+// directive.
+func Ignores(pkg *load.Package) []Ignore {
+	var out []Ignore
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -129,17 +154,34 @@ func suppress(pkg *load.Package, name string, diags []Diagnostic) []Diagnostic {
 					continue
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(text, "scdclint:ignore"))
-				target, _, _ := strings.Cut(rest, " ")
-				if target != name && target != "all" {
-					continue
+				target, tail, _ := strings.Cut(rest, " ")
+				reason := ""
+				if _, r, ok := strings.Cut(" "+tail+" ", " -- "); ok {
+					reason = strings.TrimSpace(r)
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				if ignored[pos.Filename] == nil {
-					ignored[pos.Filename] = make(map[int]bool)
-				}
-				ignored[pos.Filename][pos.Line] = true
+				out = append(out, Ignore{
+					Pos:    pkg.Fset.Position(c.Pos()),
+					Target: target,
+					Reason: reason,
+				})
 			}
 		}
+	}
+	return out
+}
+
+// suppress drops diagnostics whose line (or the line above) carries a
+// matching scdclint:ignore comment.
+func suppress(pkg *load.Package, name string, diags []Diagnostic) []Diagnostic {
+	ignored := make(map[string]map[int]bool) // filename -> lines with a matching ignore
+	for _, ig := range Ignores(pkg) {
+		if ig.Target != name && ig.Target != "all" {
+			continue
+		}
+		if ignored[ig.Pos.Filename] == nil {
+			ignored[ig.Pos.Filename] = make(map[int]bool)
+		}
+		ignored[ig.Pos.Filename][ig.Pos.Line] = true
 	}
 	out := diags[:0]
 	for _, d := range diags {

@@ -1,0 +1,3 @@
+module gcfix
+
+go 1.22

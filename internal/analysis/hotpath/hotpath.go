@@ -1,0 +1,195 @@
+// Package hotpath defines an Analyzer that keeps known-expensive
+// constructs out of the kernels' call graphs.
+//
+// A function marked with a `//scdc:hot` doc-comment line is a hot-path
+// root: it and every same-package function reachable from it (through
+// direct calls or references, so kernels dispatched through function
+// values are traced too) form the hot set. Inside the hot set the
+// analyzer flags:
+//
+//   - defer statements — a frame record per call, and they block inlining
+//     outright ("unhandled op DEFER" in the compiler's inline pass);
+//   - map accesses (index, assign or range) — a hash per touch where the
+//     kernels use dense arrays;
+//   - interface-method dispatch — dynamic calls the compiler can neither
+//     inline nor devirtualize here;
+//   - append to a slice captured by a closure — grow-in-closure forces
+//     the slice header to escape and reallocates under the pool workers.
+//
+// Cross-package calls are out of scope (each package declares its own
+// roots); the compiler-diagnostic gate (internal/analysis/gcgate) pins
+// the cross-package inlining contract instead.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"scdc/internal/analysis"
+)
+
+// Analyzer flags defer, map access, interface dispatch and captured
+// append in functions reachable from a //scdc:hot root.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "functions reachable from a //scdc:hot root must avoid defer, maps, interface dispatch and append on captured slices",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	type item struct {
+		obj  types.Object
+		root string
+	}
+	var queue []item
+	for obj, fd := range decls {
+		if isHot(fd.Doc) {
+			queue = append(queue, item{obj, funcLabel(fd)})
+		}
+	}
+	// Map order is random; fix the traversal so multi-root attribution is
+	// deterministic.
+	sort.Slice(queue, func(i, j int) bool { return queue[i].root < queue[j].root })
+
+	seen := make(map[types.Object]bool)
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if seen[it.obj] {
+			continue
+		}
+		seen[it.obj] = true
+		fd := decls[it.obj]
+		check(pass, fd, it.root)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if fn, ok := pass.Info.Uses[id].(*types.Func); ok {
+				if _, local := decls[fn]; local {
+					queue = append(queue, item{fn, it.root})
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isHot reports whether the doc comment carries a //scdc:hot line.
+func isHot(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "scdc:hot" {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLabel names a FuncDecl for diagnostics ("Name" or "Recv.Name").
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// check walks one hot function and reports the forbidden constructs.
+func check(pass *analysis.Pass, fd *ast.FuncDecl, root string) {
+	name := funcLabel(fd)
+	via := ""
+	if name != root {
+		via = " (reached from //scdc:hot root " + root + ")"
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(st.Pos(), "hot function %s%s uses defer", name, via)
+		case *ast.IndexExpr:
+			if tt := pass.TypeOf(st.X); tt != nil {
+				if _, isMap := tt.Underlying().(*types.Map); isMap {
+					pass.Reportf(st.Pos(), "hot function %s%s accesses a map", name, via)
+				}
+			}
+		case *ast.RangeStmt:
+			if tt := pass.TypeOf(st.X); tt != nil {
+				if _, isMap := tt.Underlying().(*types.Map); isMap {
+					pass.Reportf(st.Pos(), "hot function %s%s ranges over a map", name, via)
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr); ok {
+				if s := pass.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
+					pass.Reportf(st.Pos(), "hot function %s%s calls interface method %s dynamically", name, via, sel.Sel.Name)
+				}
+			}
+		case *ast.FuncLit:
+			checkCapturedAppend(pass, st, name, via)
+		}
+		return true
+	})
+}
+
+// checkCapturedAppend flags `s = append(s, ...)` inside a closure when s
+// is captured from outside it. Nested literals are handled by their own
+// FuncLit visit, so this scan stays within one scope.
+func checkCapturedAppend(pass *analysis.Pass, lit *ast.FuncLit, name, via string) {
+	analysis.WalkScope(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			target := analysis.RootIdent(as.Lhs[i])
+			if target == nil {
+				continue
+			}
+			v, ok := pass.Info.Uses[target].(*types.Var)
+			if !ok && as.Tok.String() == ":=" {
+				continue
+			}
+			if v != nil && !(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+				pass.Reportf(as.Pos(), "hot function %s%s appends to slice %q captured by a closure", name, via, target.Name)
+			}
+		}
+		return true
+	})
+}

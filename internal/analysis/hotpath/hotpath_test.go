@@ -1,0 +1,16 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"scdc/internal/analysis/analysistest"
+	"scdc/internal/analysis/hotpath"
+)
+
+func TestFixtures(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", hotpath.Analyzer, "a")
+	const want = 8
+	if len(diags) != want {
+		t.Errorf("got %d diagnostics, want %d", len(diags), want)
+	}
+}

@@ -1,0 +1,97 @@
+// Package a exercises the hotpath analyzer: functions reachable from a
+// //scdc:hot root must avoid defer, map access, interface dispatch and
+// append on captured slices.
+package a
+
+type closer interface {
+	Close() error
+}
+
+type tracker struct {
+	counts map[int]int
+}
+
+// kernel is the hot root; its body and everything it reaches is checked.
+//
+//scdc:hot
+func kernel(data []float64, t *tracker, c closer) {
+	defer cleanup()           // want "hot function kernel uses defer"
+	t.counts[1]++             // want "hot function kernel accesses a map"
+	for k := range t.counts { // want "hot function kernel ranges over a map"
+		_ = k
+	}
+	_ = c.Close() // want "hot function kernel calls interface method Close dynamically"
+	var out []float64
+	walk(data, func(v float64) {
+		out = append(out, v) // want "hot function kernel appends to slice \"out\" captured by a closure"
+	})
+	helper(data)
+}
+
+// helper is reachable from kernel, so its defer is on the hot path.
+func helper(data []float64) {
+	defer cleanup() // want "hot function helper \\(reached from //scdc:hot root kernel\\) uses defer"
+	inner(data)
+}
+
+// inner is reachable transitively through helper.
+func inner(data []float64) {
+	m := map[string]int{}
+	m["x"] = 1 // want "hot function inner \\(reached from //scdc:hot root kernel\\) accesses a map"
+}
+
+// dispatched is never called directly: kernel's callee walk reaches it
+// through the function-value reference in table, mirroring how the core
+// engine dispatches its specialized kernels.
+func table() func([]float64) {
+	return dispatched
+}
+
+func dispatched(data []float64) {
+	defer cleanup() // want "hot function dispatched \\(reached from //scdc:hot root kernel2\\) uses defer"
+}
+
+//scdc:hot
+func kernel2(data []float64) {
+	fn := table()
+	fn(data)
+	_ = dispatched
+}
+
+// cold is not reachable from any root: all of this is fine.
+func cold() {
+	defer cleanup()
+	m := map[int]int{}
+	m[1] = 2
+	var c closer
+	if c != nil {
+		_ = c.Close()
+	}
+}
+
+// clean is hot but uses only allowed constructs: slice indexing, local
+// append, concrete method calls, closures writing per-index slots.
+//
+//scdc:hot
+func clean(data []float64, out []float64) {
+	local := make([]float64, 0, len(data))
+	for i := range data {
+		out[i] = 2 * data[i]
+		local = append(local, data[i])
+	}
+	var t tracker
+	t.bump()
+	walk(local, func(v float64) {
+		out[0] = v
+	})
+}
+
+func (t *tracker) bump() {}
+
+func walk(data []float64, fn func(float64)) {
+	for _, v := range data {
+		fn(v)
+	}
+}
+
+func cleanup() {}

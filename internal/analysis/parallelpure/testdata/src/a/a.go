@@ -1,0 +1,109 @@
+// Package a exercises the parallelpure analyzer: worker closures handed
+// to the parallel pool helpers may write captured state only through
+// per-index disjoint slots.
+package a
+
+import "parallel"
+
+type stats struct {
+	total int
+}
+
+// Violations: every write below mutates state captured from the
+// enclosing function without a per-index slot.
+func bad(n int, data []float64) float64 {
+	sum := 0.0
+	parallel.ForEach(n, 4, func(i int) {
+		sum += data[i] // want "writes captured variable \"sum\""
+	})
+
+	var last float64
+	parallel.ForEach(n, 4, func(i int) {
+		last = data[i] // want "writes captured variable \"last\""
+	})
+
+	seen := make(map[int]bool)
+	parallel.ForEach(n, 4, func(i int) {
+		seen[i] = true // want "writes captured map \"seen\""
+	})
+
+	var st stats
+	parallel.ForEach(n, 4, func(i int) {
+		st.total++ // want "writes a field of captured \"st\""
+	})
+
+	p := &st
+	parallel.ForEachWorker(n, 4, func(worker, i int) {
+		*p = stats{total: i} // want "writes through captured pointer \"p\""
+	})
+	parallel.ForEachWorker(n, 4, func(worker, i int) {
+		p.total = i // want "writes a field of captured \"p\""
+	})
+
+	var out []float64
+	parallel.ForEach(n, 4, func(i int) {
+		out = append(out, data[i]) // want "writes captured variable \"out\""
+	})
+
+	first := make([]float64, 1)
+	parallel.ForEach(n, 4, func(i int) {
+		first[0] = data[i] // want "writes captured slice \"first\" at an index independent"
+	})
+
+	counters := make([]int, 8)
+	parallel.ForEachChunked(n, 4, 16, func(lo, hi int) {
+		k := 3
+		_ = k
+		counters[n%8]++ // want "writes captured slice \"counters\" at an index independent"
+	})
+
+	// Writes inside a nested literal still run on the worker goroutine.
+	var nested int
+	parallel.ForEach(n, 4, func(i int) {
+		func() {
+			nested = i // want "writes captured variable \"nested\""
+		}()
+	})
+
+	return sum + last + float64(nested)
+}
+
+// Clean: disjoint per-index, per-worker and per-chunk slots, local
+// state, and declarations inside the closure.
+func good(n int, data []float64) []float64 {
+	out := make([]float64, n)
+	parallel.ForEach(n, 4, func(i int) {
+		out[i] = 2 * data[i]
+	})
+
+	perWorker := make([]float64, 4)
+	parallel.ForEachWorker(n, 4, func(worker, i int) {
+		perWorker[worker] += data[i]
+	})
+
+	grain := 16
+	sums := make([]float64, (n+grain-1)/grain)
+	parallel.ForEachChunked(n, 4, grain, func(lo, hi int) {
+		s := 0.0
+		for j := lo; j < hi; j++ {
+			s += data[j]
+		}
+		sums[lo/grain] = s
+	})
+
+	scaled := parallel.Map(n, 4, func(i int) float64 {
+		local := data[i]
+		local *= 3
+		return local
+	})
+	_ = scaled
+
+	// A nested per-index write through the outer closure's parameter is
+	// still a disjoint slot.
+	parallel.ForEach(n, 4, func(i int) {
+		func() {
+			out[i] = data[i]
+		}()
+	})
+	return out
+}

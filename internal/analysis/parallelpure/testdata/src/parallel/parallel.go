@@ -1,0 +1,37 @@
+// Package parallel is a fixture stand-in for scdc/internal/parallel: the
+// analyzer matches the pool helpers by package name, so the signatures —
+// not the implementations — are what matters here.
+package parallel
+
+func ForEach(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	for i := 0; i < n; i++ {
+		fn(0, i)
+	}
+}
+
+func ForEachChunked(n, workers, grain int, fn func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	}
+}
+
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

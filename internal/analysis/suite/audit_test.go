@@ -1,0 +1,81 @@
+package suite_test
+
+import (
+	"testing"
+
+	"scdc/internal/analysis"
+	"scdc/internal/analysis/load"
+	"scdc/internal/analysis/suite"
+)
+
+// TestIgnoreAudit holds every scdclint:ignore directive in the lint
+// packages to two rules: it must carry a non-empty " -- reason", and it
+// must suppress a diagnostic that actually fires (same file, same line
+// or the line below — the suppression window of analysis.suppress). A
+// stale ignore left behind after the offending code is gone fails the
+// build instead of silently masking the next real finding on that line.
+func TestIgnoreAudit(t *testing.T) {
+	const root = "../../.."
+	byName := make(map[string]*analysis.Analyzer, len(suite.Analyzers))
+	for _, a := range suite.Analyzers {
+		byName[a.Name] = a
+	}
+	loader := load.NewLoader()
+	audited := 0
+	for _, pkgPath := range suite.Packages {
+		pkg, err := loader.LoadDir(suite.Dir(root, pkgPath), pkgPath)
+		if err != nil {
+			t.Fatalf("load %s: %v", pkgPath, err)
+		}
+		ignores := analysis.Ignores(pkg)
+		if len(ignores) == 0 {
+			continue
+		}
+		// Unsuppressed diagnostics, computed once per package that has
+		// anything to audit.
+		raw := make(map[string][]analysis.Diagnostic, len(suite.Analyzers))
+		for _, a := range suite.Analyzers {
+			diags, err := analysis.RunRaw(pkg, a)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkgPath, err)
+			}
+			raw[a.Name] = diags
+		}
+		for _, ig := range ignores {
+			audited++
+			if ig.Reason == "" {
+				t.Errorf("%s:%d: scdclint:ignore %s has no \" -- reason\"; every suppression must say why",
+					ig.Pos.Filename, ig.Pos.Line, ig.Target)
+			}
+			var targets []*analysis.Analyzer
+			if ig.Target == "all" {
+				targets = suite.Analyzers
+			} else if a, ok := byName[ig.Target]; ok {
+				targets = []*analysis.Analyzer{a}
+			} else {
+				t.Errorf("%s:%d: scdclint:ignore names unknown analyzer %q",
+					ig.Pos.Filename, ig.Pos.Line, ig.Target)
+				continue
+			}
+			fired := false
+			for _, a := range targets {
+				for _, d := range raw[a.Name] {
+					if d.Pos.Filename == ig.Pos.Filename &&
+						(d.Pos.Line == ig.Pos.Line || d.Pos.Line == ig.Pos.Line+1) {
+						fired = true
+					}
+				}
+			}
+			if !fired {
+				t.Errorf("%s:%d: stale scdclint:ignore %s — no %s diagnostic fires on this line anymore; delete the directive",
+					ig.Pos.Filename, ig.Pos.Line, ig.Target, ig.Target)
+			}
+		}
+	}
+	// The tree currently carries suppressions; if this ever reads zero
+	// the audit is probably not seeing the packages it should.
+	if audited == 0 {
+		t.Error("audit found no scdclint:ignore directives at all — package list or parser broke")
+	}
+	t.Logf("audited %d scdclint:ignore directive(s)", audited)
+}

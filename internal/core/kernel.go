@@ -122,6 +122,9 @@ func kernelFor(mode Mode, cond Cond) kernelOps {
 // kernel1D selects the single-neighbor loops; all three 1D modes share
 // them, differing only in which precomputed offset the wrapper feeds in.
 // CondSameSign2 and CondSameSign3 degenerate identically (allow1).
+//
+//scdc:inline
+//scdc:noalloc
 func kernel1D(cond Cond) (
 	func(q, qp []int32, i0, step, cnt, off int, R, U int32) int,
 	func(a []int32, i0, step, cnt, off int, R, U int32) int) {
@@ -184,6 +187,9 @@ func neededAxes(rg Region, ops kernelOps) (needAx [4]bool, offL, offT, offB int,
 
 // rowBase decomposes row index r over the three outer axes and returns
 // the row's flat base index plus the outer positions.
+//
+//scdc:inline
+//scdc:noalloc
 func (rg Region) rowBase(r int) (base, p0, p1, p2 int) {
 	p2 = r % rg.Ext[2]
 	t := r / rg.Ext[2]
@@ -194,6 +200,9 @@ func (rg Region) rowBase(r int) (base, p0, p1, p2 int) {
 }
 
 // copyRun writes qp[i] = q[i] over one strided run.
+//
+//scdc:inline
+//scdc:noalloc
 func copyRun(q, qp []int32, i0, step, cnt int) {
 	if step == 1 {
 		copy(qp[i0:i0+cnt], q[i0:i0+cnt])
@@ -226,6 +235,9 @@ func copyRegion(q, qp []int32, rg Region, workers int) {
 
 // regionGrain picks rows (or units) per work chunk: at least ~1024 points
 // per handoff, several chunks per worker for load balance.
+//
+//scdc:inline
+//scdc:noalloc
 func regionGrain(n, unitPts, workers int) int {
 	grain := n / (4 * workers)
 	if minN := (1024 + unitPts - 1) / unitPts; grain < minN {
@@ -245,6 +257,8 @@ func regionGrain(n, unitPts, workers int) int {
 // (ForwardRegionRef); Compensated totals are summed per chunk and added
 // once. wsp, from WorkerSpans, attributes parallel chunk time to
 // "worker[w]" spans; nil disables observation.
+//
+//scdc:hot
 func (p *Predictor) ForwardRegion(q, qp []int32, rg Region, workers int, wsp []*obs.Span) {
 	ops := kernelFor(p.Cfg.Mode, p.Cfg.Cond)
 	if ops.fwd == nil || (p.Cfg.MaxLevel > 0 && rg.Level > p.Cfg.MaxLevel) {
@@ -314,6 +328,8 @@ func (p *Predictor) ForwardRegion(q, qp []int32, rg Region, workers int, wsp []*
 // concurrently — every unit is dependency-closed, making the recovered
 // array bit-identical at any worker count. Mode1DBack/Mode3D use the
 // sequential path regardless of workers.
+//
+//scdc:hot
 func (p *Predictor) InverseRegion(enc []int32, rg Region, workers int, wsp []*obs.Span) {
 	ops := kernelFor(p.Cfg.Mode, p.Cfg.Cond)
 	if ops.inv == nil || (p.Cfg.MaxLevel > 0 && rg.Level > p.Cfg.MaxLevel) {
@@ -405,6 +421,8 @@ func (p *Predictor) InverseRegion(enc []int32, rg Region, workers int, wsp []*ob
 
 // --- 1D kernels (single neighbor at flat offset off) ---
 
+//
+//scdc:noalloc
 func fwd1DAlways(q, qp []int32, i0, step, cnt, off int, R, _ int32) int {
 	comp := 0
 	for k, i := 0, i0; k < cnt; k, i = k+1, i+step {
@@ -417,6 +435,8 @@ func fwd1DAlways(q, qp []int32, i0, step, cnt, off int, R, _ int32) int {
 	return comp
 }
 
+//
+//scdc:noalloc
 func inv1DAlways(a []int32, i0, step, cnt, off int, R, _ int32) int {
 	comp := 0
 	for k, i := 0, i0; k < cnt; k, i = k+1, i+step {
@@ -429,6 +449,8 @@ func inv1DAlways(a []int32, i0, step, cnt, off int, R, _ int32) int {
 	return comp
 }
 
+//
+//scdc:noalloc
 func fwd1DSkipU(q, qp []int32, i0, step, cnt, off int, R, U int32) int {
 	comp := 0
 	for k, i := 0, i0; k < cnt; k, i = k+1, i+step {
@@ -444,6 +466,8 @@ func fwd1DSkipU(q, qp []int32, i0, step, cnt, off int, R, U int32) int {
 	return comp
 }
 
+//
+//scdc:noalloc
 func inv1DSkipU(a []int32, i0, step, cnt, off int, R, U int32) int {
 	comp := 0
 	for k, i := 0, i0; k < cnt; k, i = k+1, i+step {
@@ -459,6 +483,8 @@ func inv1DSkipU(a []int32, i0, step, cnt, off int, R, U int32) int {
 	return comp
 }
 
+//
+//scdc:noalloc
 func fwd1DSign(q, qp []int32, i0, step, cnt, off int, R, U int32) int {
 	comp := 0
 	for k, i := 0, i0; k < cnt; k, i = k+1, i+step {
@@ -472,6 +498,8 @@ func fwd1DSign(q, qp []int32, i0, step, cnt, off int, R, U int32) int {
 	return comp
 }
 
+//
+//scdc:noalloc
 func inv1DSign(a []int32, i0, step, cnt, off int, R, U int32) int {
 	comp := 0
 	for k, i := 0, i0; k < cnt; k, i = k+1, i+step {
@@ -485,6 +513,8 @@ func inv1DSign(a []int32, i0, step, cnt, off int, R, U int32) int {
 
 // --- 2D kernels (Left, Top, TopLeft at offL, offT, offL+offT) ---
 
+//
+//scdc:noalloc
 func fwd2DAlways(q, qp []int32, i0, step, cnt, offL, offT, _ int, R, _ int32) int {
 	offLT := offL + offT
 	comp := 0
@@ -498,6 +528,8 @@ func fwd2DAlways(q, qp []int32, i0, step, cnt, offL, offT, _ int, R, _ int32) in
 	return comp
 }
 
+//
+//scdc:noalloc
 func inv2DAlways(a []int32, i0, step, cnt, offL, offT, _ int, R, _ int32) int {
 	offLT := offL + offT
 	comp := 0
@@ -511,6 +543,8 @@ func inv2DAlways(a []int32, i0, step, cnt, offL, offT, _ int, R, _ int32) int {
 	return comp
 }
 
+//
+//scdc:noalloc
 func fwd2DSkipU(q, qp []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int {
 	offLT := offL + offT
 	comp := 0
@@ -528,6 +562,8 @@ func fwd2DSkipU(q, qp []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int
 	return comp
 }
 
+//
+//scdc:noalloc
 func inv2DSkipU(arr []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int {
 	offLT := offL + offT
 	comp := 0
@@ -545,6 +581,8 @@ func inv2DSkipU(arr []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int {
 	return comp
 }
 
+//
+//scdc:noalloc
 func fwd2DSign2(q, qp []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int {
 	offLT := offL + offT
 	comp := 0
@@ -565,6 +603,8 @@ func fwd2DSign2(q, qp []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int
 	return comp
 }
 
+//
+//scdc:noalloc
 func inv2DSign2(arr []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int {
 	offLT := offL + offT
 	comp := 0
@@ -585,6 +625,8 @@ func inv2DSign2(arr []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int {
 	return comp
 }
 
+//
+//scdc:noalloc
 func fwd2DSign3(q, qp []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int {
 	offLT := offL + offT
 	comp := 0
@@ -605,6 +647,8 @@ func fwd2DSign3(q, qp []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int
 	return comp
 }
 
+//
+//scdc:noalloc
 func inv2DSign3(arr []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int {
 	offLT := offL + offT
 	comp := 0
@@ -627,6 +671,8 @@ func inv2DSign3(arr []int32, i0, step, cnt, offL, offT, _ int, R, U int32) int {
 
 // --- 3D kernels (Left/Top/Back plus the four corner offsets) ---
 
+//
+//scdc:noalloc
 func fwd3DAlways(q, qp []int32, i0, step, cnt, offL, offT, offB int, R, _ int32) int {
 	offLT, offLB, offTB := offL+offT, offL+offB, offT+offB
 	offLTB := offLT + offB
@@ -643,6 +689,8 @@ func fwd3DAlways(q, qp []int32, i0, step, cnt, offL, offT, offB int, R, _ int32)
 	return comp
 }
 
+//
+//scdc:noalloc
 func inv3DAlways(a []int32, i0, step, cnt, offL, offT, offB int, R, _ int32) int {
 	offLT, offLB, offTB := offL+offT, offL+offB, offT+offB
 	offLTB := offLT + offB
@@ -659,6 +707,8 @@ func inv3DAlways(a []int32, i0, step, cnt, offL, offT, offB int, R, _ int32) int
 	return comp
 }
 
+//
+//scdc:noalloc
 func fwd3DSkipU(q, qp []int32, i0, step, cnt, offL, offT, offB int, R, U int32) int {
 	offLT, offLB, offTB := offL+offT, offL+offB, offT+offB
 	offLTB := offLT + offB
@@ -678,6 +728,8 @@ func fwd3DSkipU(q, qp []int32, i0, step, cnt, offL, offT, offB int, R, U int32) 
 	return comp
 }
 
+//
+//scdc:noalloc
 func inv3DSkipU(arr []int32, i0, step, cnt, offL, offT, offB int, R, U int32) int {
 	offLT, offLB, offTB := offL+offT, offL+offB, offT+offB
 	offLTB := offLT + offB
@@ -697,6 +749,8 @@ func inv3DSkipU(arr []int32, i0, step, cnt, offL, offT, offB int, R, U int32) in
 	return comp
 }
 
+//
+//scdc:noalloc
 func fwd3DSign2(q, qp []int32, i0, step, cnt, offL, offT, offB int, R, U int32) int {
 	offLT, offLB, offTB := offL+offT, offL+offB, offT+offB
 	offLTB := offLT + offB
@@ -719,6 +773,8 @@ func fwd3DSign2(q, qp []int32, i0, step, cnt, offL, offT, offB int, R, U int32) 
 	return comp
 }
 
+//
+//scdc:noalloc
 func inv3DSign2(arr []int32, i0, step, cnt, offL, offT, offB int, R, U int32) int {
 	offLT, offLB, offTB := offL+offT, offL+offB, offT+offB
 	offLTB := offLT + offB
@@ -741,6 +797,8 @@ func inv3DSign2(arr []int32, i0, step, cnt, offL, offT, offB int, R, U int32) in
 	return comp
 }
 
+//
+//scdc:noalloc
 func fwd3DSign3(q, qp []int32, i0, step, cnt, offL, offT, offB int, R, U int32) int {
 	offLT, offLB, offTB := offL+offT, offL+offB, offT+offB
 	offLTB := offLT + offB
@@ -763,6 +821,8 @@ func fwd3DSign3(q, qp []int32, i0, step, cnt, offL, offT, offB int, R, U int32) 
 	return comp
 }
 
+//
+//scdc:noalloc
 func inv3DSign3(arr []int32, i0, step, cnt, offL, offT, offB int, R, U int32) int {
 	offLT, offLB, offTB := offL+offT, offL+offB, offT+offB
 	offLTB := offLT + offB

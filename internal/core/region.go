@@ -47,6 +47,9 @@ func (rg Region) Rows() int {
 // RowBase returns the flat index of the first axis-3 point of row r,
 // with rows numbered in row-major order over the three outer axes —
 // exactly the order Rows-based sweeps visit them.
+//
+//scdc:inline
+//scdc:noalloc
 func (rg Region) RowBase(r int) int {
 	base, _, _, _ := rg.rowBase(r)
 	return base

@@ -187,49 +187,75 @@ func buildCodes(table []symLen, lo, hi int32, dense bool) codeSet {
 // bitstream.Writer one code at a time (MSB-first, zero-padded tail byte),
 // without the per-symbol call and branch overhead.
 func encodeBody(dst []byte, q []int32, cs *codeSet) []byte {
+	if cs.codesArr != nil {
+		return encodeDense(dst, q, cs.codesArr, cs.lensArr, cs.lo)
+	}
+	return encodeSparse(dst, q, cs)
+}
+
+// encodeDense is the array-indexed encode kernel for dense symbol ranges
+// — the path every quantizer stream takes. Splitting it from the map
+// fallback keeps the hot loop free of map headers and lets the compiler
+// gate hold it to the no-allocation contract.
+//
+//scdc:hot
+//scdc:noalloc
+func encodeDense(dst []byte, q []int32, codes []uint64, lens []uint8, lo int32) []byte {
 	var acc uint64
 	var nbit uint
-	if cs.codesArr != nil {
-		codes, lens, lo := cs.codesArr, cs.lensArr, cs.lo
-		for _, v := range q {
-			i := v - lo
-			c, l := codes[i], uint(lens[i])
-			if nbit+l <= 64 {
-				acc = acc<<l | c
-				nbit += l
-				if nbit == 64 {
-					dst = binary.BigEndian.AppendUint64(dst, acc)
-					acc, nbit = 0, 0
-				}
-				continue
+	for _, v := range q {
+		i := v - lo
+		c, l := codes[i], uint(lens[i])
+		if nbit+l <= 64 {
+			acc = acc<<l | c
+			nbit += l
+			if nbit == 64 {
+				dst = binary.BigEndian.AppendUint64(dst, acc)
+				acc, nbit = 0, 0
 			}
-			// Split across the word boundary: top `space` bits complete the
-			// accumulator, the low bits start the next word.
-			space := 64 - nbit
-			rem := l - space
-			dst = binary.BigEndian.AppendUint64(dst, acc<<space|c>>rem)
-			acc = c & (1<<rem - 1)
-			nbit = rem
+			continue
 		}
-	} else {
-		for _, v := range q {
-			c, l := cs.codes[v], cs.lens[v]
-			if nbit+l <= 64 {
-				acc = acc<<l | c
-				nbit += l
-				if nbit == 64 {
-					dst = binary.BigEndian.AppendUint64(dst, acc)
-					acc, nbit = 0, 0
-				}
-				continue
-			}
-			space := 64 - nbit
-			rem := l - space
-			dst = binary.BigEndian.AppendUint64(dst, acc<<space|c>>rem)
-			acc = c & (1<<rem - 1)
-			nbit = rem
-		}
+		// Split across the word boundary: top `space` bits complete the
+		// accumulator, the low bits start the next word.
+		space := 64 - nbit
+		rem := l - space
+		dst = binary.BigEndian.AppendUint64(dst, acc<<space|c>>rem)
+		acc = c & (1<<rem - 1)
+		nbit = rem
 	}
+	return flushTail(dst, acc, nbit)
+}
+
+// encodeSparse is the map-indexed fallback for symbol ranges too wide for
+// a flat table. Bit-identical to encodeDense on the same code assignment.
+func encodeSparse(dst []byte, q []int32, cs *codeSet) []byte {
+	var acc uint64
+	var nbit uint
+	for _, v := range q {
+		c, l := cs.codes[v], cs.lens[v]
+		if nbit+l <= 64 {
+			acc = acc<<l | c
+			nbit += l
+			if nbit == 64 {
+				dst = binary.BigEndian.AppendUint64(dst, acc)
+				acc, nbit = 0, 0
+			}
+			continue
+		}
+		space := 64 - nbit
+		rem := l - space
+		dst = binary.BigEndian.AppendUint64(dst, acc<<space|c>>rem)
+		acc = c & (1<<rem - 1)
+		nbit = rem
+	}
+	return flushTail(dst, acc, nbit)
+}
+
+// flushTail drains the sub-word remainder of the encode accumulator:
+// whole bytes MSB-first, then a zero-padded final partial byte.
+//
+//scdc:inline
+func flushTail(dst []byte, acc uint64, nbit uint) []byte {
 	for nbit >= 8 {
 		nbit -= 8
 		dst = append(dst, byte(acc>>nbit))
@@ -302,13 +328,18 @@ type fastEnt struct {
 // begins where the previous span ends), so touched records the prefix
 // high-water mark and reuse clears only that prefix instead of all
 // 1<<fastBits entries.
+// The entry store is a fixed-size array rather than a slice so the hot
+// decode lookup indexes through a *[1<<fastBits]fastEnt: the table length
+// is then a compile-time constant and the prove pass drops the bounds
+// check on the fastBits-wide peek (the index is a 12-bit value by
+// construction).
 type fastTab struct {
-	ents    []fastEnt
+	ents    [1 << fastBits]fastEnt
 	touched int // entries [0,touched) were written since the last clear
 }
 
 var fastPool = sync.Pool{New: func() any {
-	return &fastTab{ents: make([]fastEnt, 1<<fastBits)}
+	return new(fastTab)
 }}
 
 // parseTableHeader parses the canonical table header (after the sample
@@ -411,22 +442,33 @@ func (d *decoder) release() {
 // the top-12-bit peek zero-padded for free, matching Reader.PeekBits), and
 // is refilled in 32-bit loads. Codes longer than fastBits — which need
 // ~Fibonacci(13) skewed counts to exist — re-sync through the canonical
-// slow path on a bitstream.Reader.
+// slow path on a bitstream.Reader (resyncSlow, kept out of this body so
+// its unprovable index never costs the hot loop a check).
+//
+//scdc:hot
+//scdc:noalloc
+//scdc:nobounds
 func (d *decoder) decodeBody(body []byte, out []int32) error {
-	ents := d.fast.ents
+	ents := &d.fast.ents
 	var bitBuf uint64 // upcoming bits, MSB-aligned; zero below bitCnt
 	var bitCnt uint   // number of valid bits in bitBuf
-	pos := 0          // next unread byte of body
+	// The read cursor is the unread suffix of body rather than a byte
+	// index: every load is then guarded by a len(rest) comparison the
+	// prove pass can see, which keeps this loop bounds-check free (the
+	// nobounds contract below). An integer cursor reassigned by the
+	// resync path is not provably non-negative and would re-introduce
+	// checks on both refill loads.
+	rest := body
 	for i := 0; i < len(out); i++ {
 		if bitCnt < 32 {
-			if pos+4 <= len(body) {
-				bitBuf |= uint64(binary.BigEndian.Uint32(body[pos:])) << (32 - bitCnt)
-				pos += 4
+			if len(rest) >= 4 {
+				bitBuf |= uint64(binary.BigEndian.Uint32(rest)) << (32 - bitCnt)
+				rest = rest[4:]
 				bitCnt += 32
 			} else {
-				for pos < len(body) && bitCnt <= 56 {
-					bitBuf |= uint64(body[pos]) << (56 - bitCnt)
-					pos++
+				for len(rest) > 0 && bitCnt <= 56 {
+					bitBuf |= uint64(rest[0]) << (56 - bitCnt)
+					rest = rest[1:]
 					bitCnt += 8
 				}
 			}
@@ -443,27 +485,38 @@ func (d *decoder) decodeBody(body []byte, out []int32) error {
 			out[i] = e.sym
 			continue
 		}
-		// Slow path: position a Reader at the current bit offset, decode
-		// one long code, then re-sync the local buffer.
-		r := bitstream.NewReader(body)
-		if err := r.Skip(uint(pos*8) - bitCnt); err != nil {
-			return fmt.Errorf("%w: truncated body", ErrCorrupt)
-		}
-		sym, err := d.decodeSlow(r)
+		sym, nrest, nbuf, ncnt, err := d.resyncSlow(body, len(body)-len(rest), bitCnt)
 		if err != nil {
 			return err
 		}
 		out[i] = sym
-		consumed := r.BitsRead()
-		pos = consumed >> 3
-		bitBuf, bitCnt = 0, 0
-		if frac := uint(consumed & 7); frac > 0 {
-			bitBuf = uint64(body[pos]) << (56 + frac)
-			bitCnt = 8 - frac
-			pos++
-		}
+		rest, bitBuf, bitCnt = nrest, nbuf, ncnt
 	}
 	return nil
+}
+
+// resyncSlow handles decodeBody's rare long-code path: it positions a
+// Reader at the current bit offset, decodes one code longer than
+// fastBits, and returns the symbol plus the refreshed cursor state —
+// the unread suffix of body and the reloaded partial byte. pos/bitCnt
+// locate decodeBody's cursor at the unmatched peek.
+func (d *decoder) resyncSlow(body []byte, pos int, bitCnt uint) (sym int32, rest []byte, bitBuf uint64, nbits uint, err error) {
+	r := bitstream.NewReader(body)
+	if err := r.Skip(uint(pos*8) - bitCnt); err != nil {
+		return 0, nil, 0, 0, fmt.Errorf("%w: truncated body", ErrCorrupt)
+	}
+	sym, err = d.decodeSlow(r)
+	if err != nil {
+		return 0, nil, 0, 0, err
+	}
+	consumed := r.BitsRead()
+	npos := consumed >> 3
+	if frac := uint(consumed & 7); frac > 0 {
+		bitBuf = uint64(body[npos]) << (56 + frac)
+		nbits = 8 - frac
+		npos++
+	}
+	return sym, body[npos:], bitBuf, nbits, nil
 }
 
 // decodeSlowPeek is the slow-path peek window: one peek feeds the

@@ -27,22 +27,32 @@ func (k Kind) String() string {
 // Mid2 is the two-point linear midpoint kernel, written overflow-safe so
 // the prediction stays within the hull of its neighbors even for values
 // near the float64 limit.
+//
+//scdc:inline
 func Mid2(a, b float64) float64 { return a/2 + b/2 }
 
 // Cubic4 is the four-point cubic spline midpoint kernel used by SZ3:
 // p = (-a + 9b + 9c - d)/16 for samples a,b,c,d at -3s,-s,+s,+3s.
+//
+//scdc:inline
 func Cubic4(a, b, c, d float64) float64 { return (-a + 9*b + 9*c - d) / 16 }
 
 // Quad3Left is the quadratic kernel when only the left third point exists:
 // samples a,b,c at -3s,-s,+s.
+//
+//scdc:inline
 func Quad3Left(a, b, c float64) float64 { return (-a + 6*b + 3*c) / 8 }
 
 // Quad3Right is the quadratic kernel when only the right third point
 // exists: samples b,c,d at -s,+s,+3s.
+//
+//scdc:inline
 func Quad3Right(b, c, d float64) float64 { return (3*b + 6*c - d) / 8 }
 
 // ExtrapLeft2 linearly extrapolates past the right boundary from samples
 // a,b at -3s,-s: p = 1.5b - 0.5a.
+//
+//scdc:inline
 func ExtrapLeft2(a, b float64) float64 { return 1.5*b - 0.5*a }
 
 // Line predicts the value at position t along a 1D line of extent n with

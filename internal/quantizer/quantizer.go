@@ -69,6 +69,8 @@ func (z Linear) Quantize(d, p float64) (sym int32, dec float64, ok bool) {
 // Recover reconstructs the decompressed value from a stored symbol and the
 // prediction. Unpredictable symbols must be handled by the caller (literal
 // stream) before calling Recover.
+//
+//scdc:inline
 func (z Linear) Recover(p float64, sym int32) float64 {
 	q := sym - z.Radius
 	return p + 2*float64(q)*z.EB

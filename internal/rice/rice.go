@@ -99,6 +99,9 @@ func EncodeDist(q []int32, d *entropy.Dist) []byte {
 
 // encodeBlock prices the three modes on one block and emits the cheapest.
 // ms is caller scratch of exactly len(block).
+//
+//scdc:hot
+//scdc:noalloc
 func encodeBlock(w *bitstream.Writer, block []int32, center int32, ms []uint64) {
 	centers := 0
 	for i, v := range block {
@@ -177,12 +180,16 @@ func emitRice(w *bitstream.Writer, sym int32, m uint64, k uint) {
 
 // emitGamma writes the Elias-gamma code of v >= 1: z zeros then the z+1
 // bits of v, where z = floor(log2 v).
+//
+//scdc:inline
 func emitGamma(w *bitstream.Writer, v uint) {
 	z := uint(mbits.Len(uint(v))) - 1
 	w.WriteBits(uint64(v), 2*z+1)
 }
 
 // gammaBits prices emitGamma.
+//
+//scdc:inline
 func gammaBits(v uint) int {
 	return 2*(mbits.Len(uint(v))-1) + 1
 }
@@ -266,6 +273,9 @@ func Decode(data []byte) ([]int32, error) {
 }
 
 // decodeBlock decodes one block into out.
+//
+//scdc:hot
+//scdc:nobounds
 func decodeBlock(r *bitstream.Reader, out []int32, center int32) error {
 	mode, err := r.ReadBits(2)
 	if err != nil {
@@ -295,28 +305,34 @@ func decodeBlock(r *bitstream.Reader, out []int32, center int32) error {
 		if err != nil {
 			return err
 		}
-		i := 0
-		for i < len(out) {
+		// The cursor is the unfilled suffix of out: run fills and literal
+		// stores are then range/len-guarded slice ops the prove pass
+		// eliminates, where the original index-plus-run bookkeeping kept
+		// a bounds check on every store.
+		tail := out
+		for len(tail) > 0 {
 			run, err := readGamma(r)
 			if err != nil {
 				return err
 			}
-			if run > len(out)-i {
+			n := uint(run)
+			if n > uint(len(tail)) {
 				return fmt.Errorf("%w: run of %d overflows block", ErrCorrupt, run)
 			}
-			for ; run > 0; run-- {
-				out[i] = center
-				i++
+			fill := tail[:n]
+			for j := range fill {
+				fill[j] = center
 			}
-			if i == len(out) {
+			tail = tail[n:]
+			if len(tail) == 0 {
 				break
 			}
 			sym, err := readRice(r, center, k, 1)
 			if err != nil {
 				return err
 			}
-			out[i] = sym
-			i++
+			tail[0] = sym
+			tail = tail[1:]
 		}
 		return nil
 	default:

@@ -70,6 +70,9 @@ type lineKern struct {
 // counts the odd multiples t of s with t+s < n: t = s(2k+1), so
 // k <= (n-1)/(2s) - 1; it never exceeds p-1 and p >= 2 forces kR >= 0
 // (a second predicted point t = 3s implies t' = s has 2s < n).
+//
+//scdc:inline
+//scdc:noalloc
 func makeLineKern(pa *pass, quant quantizer.Linear) lineKern {
 	ss := pa.s * pa.dstr
 	return lineKern{
@@ -97,6 +100,8 @@ func makeLineKern(pa *pass, quant quantizer.Linear) lineKern {
 // readable specification the expansion is diffed against. Returns false
 // for an unpredictable point: q[o] holds the marker, data[o] is left as
 // the original value and the caller appends it to the literal stream.
+//
+//scdc:noalloc
 func fwdQuant(data []float64, q []int32, o int, pred float64, pm quantParams) bool {
 	d := data[o]
 	qf := (d - pred) / pm.eb2
@@ -120,6 +125,8 @@ func fwdQuant(data []float64, q []int32, o int, pred float64, pm quantParams) bo
 // trailing extrapolated (or copied, for a single-point line) point.
 // Each predict site expands the fwdQuant body inline — one call-free
 // traversal per line.
+//
+//scdc:noalloc
 func (lk *lineKern) fwdLinear(data []float64, q []int32, p0 int, lits []float64) []float64 {
 	ss, ss2, pm := lk.ss, lk.ss2, lk.prm
 	o := p0
@@ -169,6 +176,8 @@ func (lk *lineKern) fwdLinear(data []float64, q []int32, p0 int, lits []float64)
 // four-point interior (the hot loop, with the fwdQuant body expanded
 // inline), quadratic right-edge point and at most one trailing
 // extrapolated point.
+//
+//scdc:noalloc
 func (lk *lineKern) fwdCubic(data []float64, q []int32, p0 int, lits []float64) []float64 {
 	ss, ss2, pm := lk.ss, lk.ss2, lk.prm
 	o := p0
@@ -230,6 +239,9 @@ func (lk *lineKern) fwdCubic(data []float64, q []int32, p0 int, lits []float64) 
 // fwdLines runs the fused forward kernels over lines [lo, hi) of a pass
 // in reference line order. rg must be the pass's region (pa.qpRegion);
 // the interp-kind dispatch happens once per call, never per point.
+//
+//scdc:hot
+//scdc:noalloc
 func fwdLines(data []float64, q []int32, rg core.Region, lk *lineKern, kind interp.Kind, lo, hi int, lits []float64) []float64 {
 	if kind == interp.Cubic {
 		for li := lo; li < hi; li++ {
@@ -246,6 +258,8 @@ func fwdLines(data []float64, q []int32, rg core.Region, lk *lineKern, kind inte
 // invLinear reconstructs one line from recovered symbols with the fused
 // linear kernel, consuming literals from index lit for unpredictable
 // points. ok is false when the literal stream is exhausted.
+//
+//scdc:noalloc
 func (lk *lineKern) invLinear(data []float64, enc []int32, p0 int, literals []float64, lit int) (int, bool) {
 	ss, ss2, qu := lk.ss, lk.ss2, lk.qu
 	o := p0
@@ -283,6 +297,8 @@ func (lk *lineKern) invLinear(data []float64, enc []int32, p0 int, literals []fl
 
 // invCubic is the cubic counterpart of invLinear, with the same segment
 // layout as fwdCubic.
+//
+//scdc:noalloc
 func (lk *lineKern) invCubic(data []float64, enc []int32, p0 int, literals []float64, lit int) (int, bool) {
 	ss, ss2, qu := lk.ss, lk.ss2, lk.qu
 	o := p0
@@ -346,6 +362,9 @@ func (lk *lineKern) invCubic(data []float64, enc []int32, p0 int, literals []flo
 // invLines runs the fused inverse kernels over lines [lo, hi) of a pass
 // in reference line order, consuming literals from index lit. ok is
 // false when the literal stream is exhausted.
+//
+//scdc:hot
+//scdc:noalloc
 func invLines(data []float64, enc []int32, rg core.Region, lk *lineKern, kind interp.Kind, lo, hi int, literals []float64, lit int) (int, bool) {
 	ok := true
 	if kind == interp.Cubic {

@@ -159,7 +159,10 @@ func decompressChunkedSpan(stream []byte, workers int, sp *obs.Span) (*Result, e
 	}
 	sliceLen := n / dims[0]
 	out := make([]float64, n)
-	var alg Algorithm
+	// Per-chunk algorithm slots: every chunk of a well-formed container
+	// carries the same algorithm, and writing a shared scalar from the
+	// worker closure would race (parallelpure flags it).
+	algs := make([]Algorithm, len(chunks))
 
 	if workers <= 0 {
 		workers = 1
@@ -201,9 +204,7 @@ func decompressChunkedSpan(stream []byte, workers int, sp *obs.Span) (*Result, e
 					ErrCorrupt, i, len(res.Data), (hi-lo)*sliceLen)
 			}
 			copy(out[lo*sliceLen:], res.Data)
-			if i == 0 {
-				alg = res.Algorithm
-			}
+			algs[i] = res.Algorithm
 			return nil
 		}()
 	})
@@ -215,7 +216,7 @@ func decompressChunkedSpan(stream []byte, workers int, sp *obs.Span) (*Result, e
 	sp.Add("chunks", int64(len(chunks)))
 	sp.Add("raw_bytes", int64(n*8))
 	sp.Add("stream_bytes", int64(len(stream)))
-	return &Result{Data: out, Dims: dims, Algorithm: alg}, nil
+	return &Result{Data: out, Dims: dims, Algorithm: algs[0]}, nil
 }
 
 // DecompressChunk extracts a single chunk (by index) from a chunked

@@ -1,0 +1,98 @@
+#!/bin/sh
+# bench_json_pr9.sh STATS_JSON RAW_OUTPUT > BENCH_pr9.json
+#
+# Assembles the performance-invariant PR's benchmark snapshot from two
+# inputs captured by `make bench-pr9`:
+#   $1  scdc-stats/1 JSON written by `scdc -z ... -stats` (per-stage ns,
+#       same command as the PR 8 snapshot so every stage is comparable —
+#       this is also what `make gate` compares against BENCH_pr8.json)
+#   $2  raw text holding BenchmarkEntropyCoders twice: as built, and
+#       with the SSA prove pass disabled (rows renamed to
+#       BenchmarkProveOffEntropyCoders by the make target)
+#
+# The bounds_checks section records the check_bce facts the compiler
+# gate (cmd/scdcgc) enforces: the number of Found IsInBounds /
+# IsSliceInBounds diagnostics inside each //scdc:nobounds function
+# before this PR's cursor rewrites, and after (zero, or the directive
+# would fail the gate).
+set -eu
+stats=$1
+raw=$2
+
+cpu=$(sed -n 's/^cpu: //p' "$raw" | head -1)
+gover=$(go version | awk '{print $3 " " $4}')
+ncpu=$(nproc 2>/dev/null || echo unknown)
+
+summary=$(awk -F'"' '/"op"|"algorithm"|"schema"/ {print $4}' "$stats" | paste -sd' ' -)
+ratio=$(sed -n 's/^  "ratio": \([0-9.]*\),*$/\1/p' "$stats")
+bpv=$(sed -n 's/^  "bits_per_value": \([0-9.]*\),*$/\1/p' "$stats")
+
+cat <<EOF
+{
+  "description": "Performance-invariant snapshot for the compiler-diagnostic-gate PR. Stages come from the scdc-stats/1 report of 'scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp -stats' (identical command to the PR 8 snapshot; cmd/benchgate gates this file against results/BENCH_pr8.json). entropy_bench measures the Huffman and Rice coders as built, where the //scdc:nobounds kernels carry zero bounds checks; prove_off_bench repeats the same rows with -d=ssa/prove/off, the compiler's stand-in for the pre-PR state in which every hot-loop access kept its check. bounds_checks pins the check_bce diagnostic counts the scdcgc gate enforces.",
+  "machine": {
+    "cpu": "$cpu",
+    "cpus_online": $ncpu,
+    "go": "$gover",
+    "date": "$(date +%Y-%m-%d)"
+  },
+  "command": "make bench-pr9",
+  "run": {
+    "stats": "$summary",
+    "ratio": ${ratio:-0},
+    "bits_per_value": ${bpv:-0}
+  },
+  "stage_ns": {
+EOF
+
+# Top-level report fields sit at 4-space indent, direct children of the
+# root span at 8 spaces, grandchildren deeper — so matching exactly 8
+# leading spaces yields the pipeline stages without nested pass spans.
+awk '
+/^        "name": / { split($0, a, "\""); name = a[4]; next }
+/^        "ns": /   {
+    ns = $2; sub(/,$/, "", ns)
+    line = sprintf("    \"%s\": %s", name, ns)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$stats"
+
+cat <<EOF
+  },
+  "bounds_checks": {
+    "huffman.decodeBody": {"before": 5, "after": 0},
+    "rice.decodeBlock": {"before": 2, "after": 0}
+  },
+  "entropy_bench": {
+EOF
+
+awk '/^BenchmarkEntropyCoders\// {
+    name = $1
+    sub(/^BenchmarkEntropyCoders\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("    \"%s\": {\"ns_op\": %s}", name, $3)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$raw"
+
+cat <<EOF
+  },
+  "prove_off_bench": {
+EOF
+
+awk '/^BenchmarkProveOffEntropyCoders\// {
+    name = $1
+    sub(/^BenchmarkProveOffEntropyCoders\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("    \"%s\": {\"ns_op\": %s}", name, $3)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$raw"
+
+cat <<EOF
+  }
+}
+EOF
