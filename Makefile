@@ -12,7 +12,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet lint lint-fixtures lint-gc race check gate bench bench-pr3 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 fuzz-smoke cover
+.PHONY: all build test vet lint lint-fixtures lint-gc race check gate bench bench-pr3 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10 fuzz-smoke cover
 
 all: check
 
@@ -63,6 +63,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzRice$$' -fuzztime $(FUZZTIME) ./internal/rice/
 	$(GO) test -run xxx -fuzz '^FuzzRangeCoderDecode$$' -fuzztime $(FUZZTIME) ./internal/lossless/
 	$(GO) test -run xxx -fuzz '^FuzzLosslessDecompress$$' -fuzztime $(FUZZTIME) ./internal/lossless/
+	$(GO) test -run xxx -fuzz '^FuzzLosslessSharded$$' -fuzztime $(FUZZTIME) ./internal/lossless/
 	$(GO) test -run xxx -fuzz '^FuzzBitReader$$' -fuzztime $(FUZZTIME) ./internal/bitstream/
 	$(GO) test -run xxx -fuzz '^FuzzBitWriterReader$$' -fuzztime $(FUZZTIME) ./internal/bitstream/
 	$(GO) test -run xxx -fuzz '^FuzzQuantizerRecover$$' -fuzztime $(FUZZTIME) ./internal/quantizer/
@@ -133,6 +134,25 @@ bench-pr9:
 	    > results/BENCH_pr9.json
 	@rm -f results/bench_pr9.scdc
 	@echo wrote results/BENCH_pr9.json
+
+# Lossless back-end snapshot: the same dataset and error bound as
+# bench-pr9 but with `-lossless auto`, so the pipeline rows show the
+# auto-selected back-end against the PR 9 flate baseline (the comparison
+# `make gate` performs — the pick trades <1% ratio for a multi-x faster
+# lossless stage), plus the per-codec BenchmarkLosslessCodecs rows that
+# feed the lossless_bench ledger section benchgate gates from this
+# snapshot on.
+bench-pr10:
+	@mkdir -p results
+	$(GO) run ./cmd/scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp -lossless auto \
+	    -out results/bench_pr10.scdc -stats -statsout results/bench_pr10.stats.json \
+	    | tee results/bench_pr10_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkLosslessCodecs' -benchtime 20x ./internal/lossless/ \
+	    | tee -a results/bench_pr10_raw.txt
+	sh scripts/bench_json_pr10.sh results/bench_pr10.stats.json results/bench_pr10_raw.txt \
+	    > results/BENCH_pr10.json
+	@rm -f results/bench_pr10.scdc
+	@echo wrote results/BENCH_pr10.json
 
 cover:
 	$(GO) test -cover ./...

@@ -44,6 +44,17 @@ type ledgerEntry struct {
 		Ratio float64 `json:"ratio"`
 	} `json:"run"`
 	StageNS map[string]int64 `json:"stage_ns"`
+	// LosslessBench holds the per-codec lossless back-end rows
+	// (BenchmarkLosslessCodecs): compress/decompress time per codec and
+	// the compression ratio the compress series reported. Snapshots
+	// recorded before the sharded/auto back-end simply omit the section.
+	LosslessBench map[string]losslessRow `json:"lossless_bench"`
+}
+
+// losslessRow is one per-codec lossless benchmark row.
+type losslessRow struct {
+	NsOp  float64 `json:"ns_op"`
+	Ratio float64 `json:"ratio"`
 }
 
 // comparable reports whether the entry carries anything the gate can
@@ -168,6 +179,40 @@ func gate(args []string, stdout io.Writer) error {
 			regressions++
 		}
 		fmt.Fprintf(stdout, "  %-10s %12d -> %12d ns  %+6.1f%%  %s\n", k, p, n, delta*100, verdict)
+	}
+	// Per-codec lossless rows gate like stages: shared codecs only, the
+	// same fractional tolerances, the same noise floor on times.
+	var losslessKeys []string
+	for k := range prev.LosslessBench {
+		if _, ok := newest.LosslessBench[k]; ok {
+			losslessKeys = append(losslessKeys, k)
+		}
+	}
+	sort.Strings(losslessKeys)
+	for _, k := range losslessKeys {
+		p, n := prev.LosslessBench[k], newest.LosslessBench[k]
+		if p.NsOp > 0 && n.NsOp > 0 {
+			if int64(p.NsOp) < *minNS && int64(n.NsOp) < *minNS {
+				fmt.Fprintf(stdout, "  lossless/%-24s %12.0f -> %12.0f ns  (below noise floor, skipped)\n", k, p.NsOp, n.NsOp)
+			} else {
+				delta := (n.NsOp - p.NsOp) / p.NsOp
+				verdict := "ok"
+				if n.NsOp > p.NsOp*(1+*tol) {
+					verdict = "REGRESSION"
+					regressions++
+				}
+				fmt.Fprintf(stdout, "  lossless/%-24s %12.0f -> %12.0f ns  %+6.1f%%  %s\n", k, p.NsOp, n.NsOp, delta*100, verdict)
+			}
+		}
+		if p.Ratio > 0 && n.Ratio > 0 {
+			delta := (n.Ratio - p.Ratio) / p.Ratio
+			verdict := "ok"
+			if n.Ratio < p.Ratio*(1-*crTol) {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(stdout, "  lossless/%-24s %12.4f -> %12.4f     %+6.2f%%  %s\n", k+" ratio", p.Ratio, n.Ratio, delta*100, verdict)
+		}
 	}
 	if prev.Run.Ratio > 0 && newest.Run.Ratio > 0 {
 		delta := (newest.Run.Ratio - prev.Run.Ratio) / prev.Run.Ratio

@@ -100,6 +100,77 @@ func TestGateSkipsIncomparableBaseline(t *testing.T) {
 	}
 }
 
+// TestGateLosslessRows: per-codec lossless_bench rows gate with the
+// stage tolerances — a codec that slows past -tol or whose ratio drops
+// past -crtol fails, and snapshots without the section stay comparable.
+func TestGateLosslessRows(t *testing.T) {
+	base := `{
+	  "run": {"ratio": 76.13},
+	  "stage_ns": {"interp": 6795130},
+	  "lossless_bench": {
+	    "compress/codec=flate":   {"ns_op": 9000000, "ratio": 16.9},
+	    "compress/codec=huffman": {"ns_op": 3000000, "ratio": 15.8},
+	    "decompress/codec=lz":    {"ns_op": 2500000}
+	  }
+	}`
+	t.Run("pass", func(t *testing.T) {
+		dir := t.TempDir()
+		writeLedger(t, dir, "BENCH_pr1.json", base)
+		writeLedger(t, dir, "BENCH_pr2.json", `{
+		  "run": {"ratio": 76.13},
+		  "stage_ns": {"interp": 6795130},
+		  "lossless_bench": {
+		    "compress/codec=flate":   {"ns_op": 9100000, "ratio": 16.9},
+		    "compress/codec=huffman": {"ns_op": 2800000, "ratio": 15.9},
+		    "decompress/codec=lz":    {"ns_op": 2400000}
+		  }
+		}`)
+		var buf strings.Builder
+		if err := gate([]string{"-dir", dir}, &buf); err != nil {
+			t.Fatalf("gate failed on steady lossless rows: %v\n%s", err, buf.String())
+		}
+		if !strings.Contains(buf.String(), "lossless/compress/codec=flate") {
+			t.Errorf("lossless rows not reported:\n%s", buf.String())
+		}
+	})
+	t.Run("time regression", func(t *testing.T) {
+		dir := t.TempDir()
+		writeLedger(t, dir, "BENCH_pr1.json", base)
+		writeLedger(t, dir, "BENCH_pr2.json", `{
+		  "run": {"ratio": 76.13},
+		  "stage_ns": {"interp": 6795130},
+		  "lossless_bench": {
+		    "compress/codec=huffman": {"ns_op": 9000000, "ratio": 15.8}
+		  }
+		}`)
+		if err := gate([]string{"-dir", dir}, io.Discard); err == nil {
+			t.Fatal("3x huffman compress slowdown missed")
+		}
+	})
+	t.Run("ratio regression", func(t *testing.T) {
+		dir := t.TempDir()
+		writeLedger(t, dir, "BENCH_pr1.json", base)
+		writeLedger(t, dir, "BENCH_pr2.json", `{
+		  "run": {"ratio": 76.13},
+		  "stage_ns": {"interp": 6795130},
+		  "lossless_bench": {
+		    "compress/codec=flate": {"ns_op": 9000000, "ratio": 14.0}
+		  }
+		}`)
+		if err := gate([]string{"-dir", dir}, io.Discard); err == nil {
+			t.Fatal("17% flate ratio drop missed")
+		}
+	})
+	t.Run("section absent in baseline", func(t *testing.T) {
+		dir := t.TempDir()
+		writeLedger(t, dir, "BENCH_pr1.json", baseSnapshot)
+		writeLedger(t, dir, "BENCH_pr2.json", base)
+		if err := gate([]string{"-dir", dir}, io.Discard); err != nil {
+			t.Fatalf("new lossless_bench section broke comparison: %v", err)
+		}
+	})
+}
+
 // TestGateNumericOrder pins that discovery sorts by PR number, not
 // lexically: pr10 is newer than pr9.
 func TestGateNumericOrder(t *testing.T) {

@@ -42,6 +42,10 @@ type Entry struct {
 	// for the legacy Huffman streams so their manifest lines are
 	// unchanged.
 	Entropy string `json:"entropy,omitempty"`
+	// Lossless names a non-default lossless back-end ("flate", "lz",
+	// "huffman", "auto"); empty for the legacy whole-buffer DEFLATE
+	// streams so their manifest lines are unchanged.
+	Lossless string `json:"lossless,omitempty"`
 	// StreamSHA256 pins the exact compressed bytes; DecodedSHA256 pins
 	// the float64 little-endian bytes Decompress must reproduce.
 	StreamSHA256  string `json:"stream_sha256"`
@@ -74,6 +78,24 @@ func synth(dims []int) []float64 {
 	return data
 }
 
+// synthNoisy layers deterministic pseudo-noise over the smooth synth
+// field, several quantization bins wide at the corpus error bound, so
+// the quantization indices — and with them the entropy-stage payload —
+// are near-incompressible. A modest 3D geometry then pushes the
+// lossless input past the sharding threshold without a huge corpus
+// file.
+func synthNoisy(dims []int) []float64 {
+	data := synth(dims)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range data {
+		state = state*6364136223846793005 + 1442695040888963407
+		// Top 20 bits as a symmetric jitter of up to ~±0.5, ~250 bins at
+		// eb=1e-3.
+		data[i] += (float64(state>>44) - float64(1<<19)) / float64(1<<20)
+	}
+	return data
+}
+
 func decodedBytes(data []float64) []byte {
 	out := make([]byte, 0, 8*len(data))
 	for _, v := range data {
@@ -93,13 +115,13 @@ func build() ([]Entry, map[string][]byte, error) {
 	var entries []Entry
 	streams := make(map[string][]byte)
 
-	add := func(name string, dims []int, stream []byte, decoded []float64, alg scdc.Algorithm, eb float64, qp, chunked, v1 bool, entropy string) {
+	add := func(name string, dims []int, stream []byte, decoded []float64, alg scdc.Algorithm, eb float64, qp, chunked, v1 bool, entropy, lossless string) {
 		file := name + ".scdc"
 		streams[file] = stream
 		entries = append(entries, Entry{
 			Name: name, File: file,
 			Algorithm: alg.String(), Dims: dims, ErrorBound: eb,
-			QP: qp, Chunked: chunked, V1: v1, Entropy: entropy,
+			QP: qp, Chunked: chunked, V1: v1, Entropy: entropy, Lossless: lossless,
 			StreamSHA256:  shaHex(stream),
 			DecodedSHA256: shaHex(decodedBytes(decoded)),
 		})
@@ -132,7 +154,7 @@ func build() ([]Entry, map[string][]byte, error) {
 					mode = "qpon"
 				}
 				name := fmt.Sprintf("%s_%dd_%s", strings.ToLower(alg.String()), len(dims), mode)
-				add(name, dims, stream, res.Data, alg, eb, qp, false, false, "")
+				add(name, dims, stream, res.Data, alg, eb, qp, false, false, "", "")
 			}
 		}
 	}
@@ -158,8 +180,44 @@ func build() ([]Entry, map[string][]byte, error) {
 				return nil, nil, fmt.Errorf("%v entropy=%v: decode: %w", alg, ec, err)
 			}
 			name := fmt.Sprintf("%s_3d_qpon_%v", strings.ToLower(alg.String()), ec)
-			add(name, dims, stream, res.Data, alg, eb, true, false, false, ec.String())
+			add(name, dims, stream, res.Data, alg, eb, true, false, false, ec.String(), "")
 		}
+	}
+
+	// Lossless back-end streams: one per selectable codec on the standard
+	// 3D field (small entropy payloads take the plain single-body format,
+	// pinning each codec's tag and body bytes), plus one noisy field
+	// whose entropy payload crosses the 64KB threshold so the sharded
+	// container itself — tag 4, shard directory, per-shard bodies — is
+	// pinned byte for byte.
+	for _, lc := range []scdc.LosslessCodec{scdc.LosslessFlate, scdc.LosslessLZ, scdc.LosslessHuffman, scdc.LosslessAuto} {
+		dims := []int{8, 8, 8}
+		data := synth(dims)
+		opts := scdc.Options{Algorithm: scdc.SZ3, ErrorBound: eb, QP: scdc.DefaultQP(), Lossless: lc}
+		stream, err := scdc.Compress(data, dims, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lossless=%v: %w", lc, err)
+		}
+		res, err := scdc.Decompress(stream)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lossless=%v: decode: %w", lc, err)
+		}
+		name := "sz3_3d_qpon_lossless_" + lc.String()
+		add(name, dims, stream, res.Data, scdc.SZ3, eb, true, false, false, "", lc.String())
+	}
+	{
+		dims := []int{40, 40, 48}
+		data := synthNoisy(dims)
+		opts := scdc.Options{Algorithm: scdc.SZ3, ErrorBound: eb, QP: scdc.DefaultQP(), Lossless: scdc.LosslessFlate}
+		stream, err := scdc.Compress(data, dims, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sharded lossless: %w", err)
+		}
+		res, err := scdc.Decompress(stream)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sharded lossless: decode: %w", err)
+		}
+		add("sz3_3d_qpon_lossless_sharded", dims, stream, res.Data, scdc.SZ3, eb, true, false, false, "", "flate")
 	}
 
 	// Chunked container: SZ3+QP over a 3D field split into 4-plane chunks.
@@ -175,7 +233,7 @@ func build() ([]Entry, map[string][]byte, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("chunked decode: %w", err)
 		}
-		add("chunked_sz3_3d_qpon", dims, stream, res.Data, scdc.SZ3, eb, true, true, false, "")
+		add("chunked_sz3_3d_qpon", dims, stream, res.Data, scdc.SZ3, eb, true, true, false, "", "")
 	}
 
 	// Legacy v1 stream: the v2 golden with its footer stripped and the
@@ -193,7 +251,7 @@ func build() ([]Entry, map[string][]byte, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("v1 decode: %w", err)
 		}
-		add("v1_sz3_3d_qpoff", dims, v1, res.Data, scdc.SZ3, eb, false, false, true, "")
+		add("v1_sz3_3d_qpoff", dims, v1, res.Data, scdc.SZ3, eb, false, false, true, "", "")
 	}
 
 	return entries, streams, nil

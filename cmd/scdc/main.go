@@ -112,6 +112,7 @@ func run(args []string, stdout io.Writer) error {
 		workers    = fs.Int("workers", 1, "goroutines for intra-field parallelism (compress and decompress); output is identical for any value")
 		shards     = fs.Int("shards", 0, "split the entropy stream into this many Huffman shards for parallel decode (0 = single stream)")
 		entropyArg = fs.String("entropy", "huffman", "entropy coder for the quantization index stream: huffman, auto or rice")
+		llArg      = fs.String("lossless", "default", "lossless back-end: default (legacy whole-buffer flate), flate, lz, huffman or auto (sharded parallel container), store")
 		serveAddr  = fs.String("serve", "", "serve /metrics, /metrics.json and /debug/pprof on this address; stays up after the batch until interrupted")
 		stats      = fs.Bool("stats", false, "print a per-stage span tree and write the scdc-stats/1 JSON report")
 		statsOut   = fs.String("statsout", "", "stats JSON path (default <out>.stats.json; with -stats)")
@@ -190,8 +191,12 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	llc, err := scdc.ParseLosslessCodec(*llArg)
+	if err != nil {
+		return err
+	}
 	opts := scdc.Options{Algorithm: alg, ErrorBound: *eb, RelativeBound: *rel,
-		Workers: *workers, Shards: *shards, Entropy: coder}
+		Workers: *workers, Shards: *shards, Entropy: coder, Lossless: llc}
 	if *qp {
 		opts.QP = scdc.DefaultQP()
 	}

@@ -39,6 +39,7 @@ var gatePkgs = []gcgate.Pkg{
 	{Dir: "internal/sz3", Path: "scdc/internal/sz3"},
 	{Dir: "internal/huffman", Path: "scdc/internal/huffman"},
 	{Dir: "internal/rice", Path: "scdc/internal/rice"},
+	{Dir: "internal/lossless", Path: "scdc/internal/lossless"},
 }
 
 func main() {

@@ -97,10 +97,18 @@ func TestRealTreeManifest(t *testing.T) {
 		"scdc/internal/interp.Mid2 inline",
 		"scdc/internal/interp.Quad3Left inline",
 		"scdc/internal/interp.Quad3Right inline",
+		"scdc/internal/lossless.load32 inline",
+		"scdc/internal/lossless.load64 inline",
+		"scdc/internal/lossless.lzDecompressInto noalloc",
+		"scdc/internal/lossless.lzEmitLen inline",
+		"scdc/internal/lossless.lzHash inline",
+		"scdc/internal/lossless.lzMatchLen noalloc",
+		"scdc/internal/lossless.lzReadLen inline",
 		"scdc/internal/quantizer.Linear.Recover inline",
+		"scdc/internal/rice.bestK noalloc,nobounds",
 		"scdc/internal/rice.decodeBlock nobounds",
 		"scdc/internal/rice.emitGamma inline",
-		"scdc/internal/rice.encodeBlock noalloc",
+		"scdc/internal/rice.encodeBlock noalloc,nobounds",
 		"scdc/internal/rice.gammaBits inline",
 		"scdc/internal/sz3.(*lineKern).fwdCubic noalloc",
 		"scdc/internal/sz3.(*lineKern).fwdLinear noalloc",

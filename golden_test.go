@@ -22,6 +22,7 @@ type goldenEntry struct {
 	Chunked       bool    `json:"chunked"`
 	V1            bool    `json:"v1"`
 	Entropy       string  `json:"entropy"`
+	Lossless      string  `json:"lossless"`
 	StreamSHA256  string  `json:"stream_sha256"`
 	DecodedSHA256 string  `json:"decoded_sha256"`
 }
@@ -115,6 +116,8 @@ func TestGoldenCoverage(t *testing.T) {
 	var chunked, v1 bool
 	rice := make(map[string]bool)
 	var auto bool
+	lossless := make(map[string]bool)
+	var shardedLossless bool
 	for _, e := range entries {
 		seen[key{e.Algorithm, len(e.Dims), e.QP}] = true
 		chunked = chunked || e.Chunked
@@ -123,6 +126,18 @@ func TestGoldenCoverage(t *testing.T) {
 			rice[e.Algorithm] = true
 		}
 		auto = auto || e.Entropy == "auto"
+		if e.Lossless != "" {
+			lossless[e.Lossless] = true
+			// The sharded container only engages past its 64KB input
+			// threshold; the corpus must carry at least one field big and
+			// noisy enough to cross it so the tag-4 directory format stays
+			// pinned (cmd/golden's sz3_3d_qpon_lossless_sharded entry).
+			n := 1
+			for _, d := range e.Dims {
+				n *= d
+			}
+			shardedLossless = shardedLossless || n >= 64<<10
+		}
 	}
 	for _, alg := range []Algorithm{SZ3, QoZ, HPEZ, MGARD, ZFP, TTHRESH, SPERR} {
 		for nd := 1; nd <= 4; nd++ {
@@ -147,6 +162,14 @@ func TestGoldenCoverage(t *testing.T) {
 	}
 	if !auto {
 		t.Error("no auto-entropy golden stream")
+	}
+	for _, lc := range []string{"flate", "lz", "huffman", "auto"} {
+		if !lossless[lc] {
+			t.Errorf("no golden stream for lossless back-end %q", lc)
+		}
+	}
+	if !shardedLossless {
+		t.Error("no golden stream large enough to pin the sharded lossless container")
 	}
 }
 

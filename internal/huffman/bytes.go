@@ -1,0 +1,332 @@
+package huffman
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"scdc/internal/entropy"
+	"scdc/internal/parallel"
+)
+
+// Byte-stream sub-format: canonical Huffman over the byte alphabet for
+// the lossless back-end (lossless.Huffman). The generic table header
+// delta-codes (symbol, length) pairs at ~2.3 bytes per distinct symbol —
+// ~600 bytes on a full byte alphabet, a visible fraction of a percent on
+// typical entropy-stage payloads. Here the alphabet is fixed, so the
+// table is a flat 256-byte code-length vector and canonical order
+// (length ascending, then symbol ascending) reconstructs the codes.
+//
+// Layout:
+//
+//	0xB7                      marker (distinct from both legacy streams,
+//	                          which open with uvarint(hdrLen), and the
+//	                          sharded marker 0x00)
+//	0x01                      sub-format version
+//	uvarint(nsamp)            total byte count; 0 ends the stream here
+//	192 bytes                 code length per symbol, 6 bits each in
+//	                          symbol order, 0 = absent
+//	uvarint(K)                shard count, K >= 1
+//	K x { uvarint(nsamp_i), uvarint(bodyLen_i) }
+//	K concatenated bodies     independently padded bit streams sharing
+//	                          the one code table
+//
+// Shards share the table, so splitting costs K-1 tail paddings plus the
+// directory and the shard count depends only on the caller's argument —
+// never on the worker count — keeping streams byte-identical across
+// parallelism levels.
+
+const (
+	byteMarker  = 0xB7
+	byteVersion = 0x01
+	// byteTableLen is the alphabet size; the code-length vector packs 6
+	// bits per symbol into byteTablePacked stream bytes.
+	byteTableLen    = 256
+	byteTablePacked = byteTableLen * 6 / 8
+	// byteMaxLen is the longest code the 6-bit table can record. A code
+	// of length L needs ~Fibonacci(L+2) samples, so 63 is unreachable
+	// from any real buffer; EncodeBytesTo still depth-limits by halving
+	// counts so the encoder is total rather than trusting that bound.
+	byteMaxLen = 63
+)
+
+// byteSymsPool recycles the int32 widening/decode-scratch buffers.
+var byteSymsPool = sync.Pool{New: func() any { return new([]int32) }}
+
+func getByteSyms(n int) *[]int32 {
+	sp := byteSymsPool.Get().(*[]int32)
+	if cap(*sp) < n {
+		*sp = make([]int32, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
+}
+
+// EncodeBytes compresses src as a byte-alphabet Huffman stream with the
+// given shard count, encoding shard bodies on up to workers goroutines.
+func EncodeBytes(src []byte, shards, workers int) []byte {
+	return EncodeBytesTo(nil, src, shards, workers)
+}
+
+// EncodeBytesTo is EncodeBytes appending to dst.
+func EncodeBytesTo(dst, src []byte, shards, workers int) []byte {
+	dst = append(dst, byteMarker, byteVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+
+	sp := getByteSyms(len(src))
+	syms := *sp
+	for i, b := range src {
+		syms[i] = int32(b)
+	}
+	d := entropy.Analyze(syms)
+	table := codeLengths(d)
+	// codeLengths is canonical-sorted, so the last entry is the deepest.
+	// Halving counts flattens the tree geometrically, so this loop is a
+	// few iterations even in theory and zero in practice (see byteMaxLen).
+	for table[len(table)-1].len > byteMaxLen {
+		for i := range d.Syms {
+			d.Syms[i].Count = (d.Syms[i].Count + 1) >> 1
+		}
+		table = codeLengths(d)
+	}
+	cs := buildCodes(table, d.Lo, d.Hi, d.Dense)
+
+	var lens [byteTableLen]byte
+	for _, sl := range table {
+		lens[sl.sym] = byte(sl.len)
+	}
+	for g := 0; g < byteTableLen/4; g++ {
+		v := uint32(lens[4*g])<<18 | uint32(lens[4*g+1])<<12 | uint32(lens[4*g+2])<<6 | uint32(lens[4*g+3])
+		dst = append(dst, byte(v>>16), byte(v>>8), byte(v))
+	}
+
+	n := len(src)
+	if shards < 1 {
+		shards = 1
+	}
+	if maxSh := n / minShardSamples; shards > maxSh {
+		shards = maxSh
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	k := shards
+	dst = binary.AppendUvarint(dst, uint64(k))
+
+	bodies := make([]*[]byte, k)
+	parallel.ForEach(k, workers, func(i int) {
+		lo, hi := i*n/k, (i+1)*n/k
+		bp := bodyPool.Get().(*[]byte)
+		*bp = encodeBody((*bp)[:0], syms[lo:hi], &cs)
+		bodies[i] = bp
+	})
+	for i, bp := range bodies {
+		lo, hi := i*n/k, (i+1)*n/k
+		dst = binary.AppendUvarint(dst, uint64(hi-lo))
+		dst = binary.AppendUvarint(dst, uint64(len(*bp)))
+	}
+	for _, bp := range bodies {
+		dst = append(dst, *bp...)
+		bodyPool.Put(bp)
+	}
+
+	byteSymsPool.Put(sp)
+	return dst
+}
+
+// parseByteTable rebuilds the canonical (symbol, length) lists from the
+// packed 192-byte length vector and proves the code space is not
+// over-subscribed — newDecoder trusts its input and writes
+// 1<<(fastBits-len) fast-table entries per short code, so an
+// inconsistent table must be rejected here, before the decoder exists.
+func parseByteTable(packed []byte) (syms []int32, lengths []int, err error) {
+	var table [byteTableLen]byte
+	for g := 0; g < byteTableLen/4; g++ {
+		v := uint32(packed[3*g])<<16 | uint32(packed[3*g+1])<<8 | uint32(packed[3*g+2])
+		table[4*g] = byte(v >> 18 & 63)
+		table[4*g+1] = byte(v >> 12 & 63)
+		table[4*g+2] = byte(v >> 6 & 63)
+		table[4*g+3] = byte(v & 63)
+	}
+	ntab, maxLen := 0, 0
+	for _, l := range table {
+		if l != 0 {
+			ntab++
+			if int(l) > maxLen {
+				maxLen = int(l)
+			}
+		}
+	}
+	if ntab == 0 {
+		return nil, nil, fmt.Errorf("%w: empty code table", ErrCorrupt)
+	}
+	syms = make([]int32, 0, ntab)
+	lengths = make([]int, 0, ntab)
+	for l := 1; l <= maxLen; l++ {
+		for s := 0; s < byteTableLen; s++ {
+			if int(table[s]) == l {
+				syms = append(syms, int32(s))
+				lengths = append(lengths, l)
+			}
+		}
+	}
+	// Canonical feasibility: walking the code assignment the way
+	// buildCodes/newDecoder do, every code must fit in its length. A
+	// 256-symbol alphabet never reaches 64-bit codes, so the shifted
+	// values below cannot wrap.
+	var code uint64
+	prevLen := 0
+	for _, l := range lengths {
+		if prevLen != 0 {
+			code = (code + 1) << uint(l-prevLen)
+		}
+		if l < 64 && code>>uint(l) != 0 {
+			return nil, nil, fmt.Errorf("%w: over-subscribed code table", ErrCorrupt)
+		}
+		prevLen = l
+	}
+	return syms, lengths, nil
+}
+
+// byteShard is one parsed shard directory entry.
+type byteShard struct {
+	off, n           int
+	bodyOff, bodyLen int
+}
+
+// DecodeBytes decodes a byte-alphabet Huffman stream, allocating the
+// output after validating the declared size against the stream (at most
+// 8 symbols per body byte).
+func DecodeBytes(data []byte, workers int) ([]byte, error) {
+	if len(data) < 3 {
+		return nil, fmt.Errorf("%w: truncated byte-stream header", ErrCorrupt)
+	}
+	nsamp, c := binary.Uvarint(data[2:])
+	if c <= 0 {
+		return nil, fmt.Errorf("%w: bad sample count", ErrCorrupt)
+	}
+	if nsamp > 8*uint64(len(data)) {
+		return nil, fmt.Errorf("%w: declared count %d impossible for %d input bytes", ErrCorrupt, nsamp, len(data))
+	}
+	out := make([]byte, nsamp)
+	if err := DecodeBytesInto(out, data, workers); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeBytesInto decodes a byte-alphabet Huffman stream into exactly
+// dst, fanning shard bodies across up to workers goroutines. The
+// stream's declared sample count must equal len(dst), and every
+// directory claim is checked against the stream before any decoding
+// (and before any allocation proportional to a claim).
+func DecodeBytesInto(dst, data []byte, workers int) error {
+	if len(data) < 2 || data[0] != byteMarker || data[1] != byteVersion {
+		return fmt.Errorf("%w: bad byte-stream header", ErrCorrupt)
+	}
+	data = data[2:]
+	nsamp, c := binary.Uvarint(data)
+	if c <= 0 {
+		return fmt.Errorf("%w: bad sample count", ErrCorrupt)
+	}
+	data = data[c:]
+	if nsamp != uint64(len(dst)) {
+		return fmt.Errorf("%w: declared count %d, want %d", ErrCorrupt, nsamp, len(dst))
+	}
+	if nsamp == 0 {
+		if len(data) != 0 {
+			return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data))
+		}
+		return nil
+	}
+	if len(data) < byteTablePacked {
+		return fmt.Errorf("%w: truncated code table", ErrCorrupt)
+	}
+	syms, lengths, err := parseByteTable(data[:byteTablePacked])
+	if err != nil {
+		return err
+	}
+	data = data[byteTablePacked:]
+
+	k64, c := binary.Uvarint(data)
+	if c <= 0 || k64 == 0 {
+		return fmt.Errorf("%w: bad shard count", ErrCorrupt)
+	}
+	data = data[c:]
+	// Each directory entry costs at least two bytes, bounding the count
+	// by the stream before the directory is allocated.
+	if 2*k64 > uint64(len(data)) {
+		return fmt.Errorf("%w: shard count %d exceeds stream", ErrCorrupt, k64)
+	}
+	k := int(k64)
+	// Every shard must carry at least one sample (empty shards are
+	// rejected below), so more shards than samples is always corrupt.
+	if k > len(dst) {
+		return fmt.Errorf("%w: shard count %d exceeds sample count %d", ErrCorrupt, k, len(dst))
+	}
+	dir := make([]byteShard, k)
+	off, pos := 0, 0
+	for i := range dir {
+		ns, c := binary.Uvarint(data[pos:])
+		if c <= 0 {
+			return fmt.Errorf("%w: bad shard sample count", ErrCorrupt)
+		}
+		pos += c
+		bl, c := binary.Uvarint(data[pos:])
+		if c <= 0 {
+			return fmt.Errorf("%w: bad shard body length", ErrCorrupt)
+		}
+		pos += c
+		if ns == 0 {
+			return fmt.Errorf("%w: empty shard", ErrCorrupt)
+		}
+		if ns > uint64(len(dst)-off) {
+			return fmt.Errorf("%w: shard counts exceed declared total %d", ErrCorrupt, len(dst))
+		}
+		dir[i] = byteShard{off: off, n: int(ns), bodyLen: int(bl)}
+		off += int(ns)
+	}
+	if off != len(dst) {
+		return fmt.Errorf("%w: shard counts sum to %d, want %d", ErrCorrupt, off, len(dst))
+	}
+	bodies := data[pos:]
+	bodyOff := 0
+	for i := range dir {
+		if dir[i].bodyLen > len(bodies)-bodyOff {
+			return fmt.Errorf("%w: shard bodies exceed stream", ErrCorrupt)
+		}
+		dir[i].bodyOff = bodyOff
+		bodyOff += dir[i].bodyLen
+	}
+	if bodyOff != len(bodies) {
+		return fmt.Errorf("%w: %d trailing body bytes", ErrCorrupt, len(bodies)-bodyOff)
+	}
+
+	d := newDecoder(syms, lengths)
+	defer d.release()
+	errs := make([]error, k)
+	parallel.ForEach(k, workers, func(i int) {
+		sh := dir[i]
+		sp := getByteSyms(sh.n)
+		err := d.decodeBody(bodies[sh.bodyOff:sh.bodyOff+sh.bodyLen], *sp)
+		if err == nil {
+			// Symbols come from the byte-indexed table, so the narrowing
+			// cast cannot truncate.
+			o := dst[sh.off : sh.off+sh.n]
+			for j, s := range *sp {
+				o[j] = byte(s)
+			}
+		}
+		errs[i] = err
+		byteSymsPool.Put(sp)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

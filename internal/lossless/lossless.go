@@ -1,13 +1,19 @@
 // Package lossless provides the final lossless compression stage that the
 // paper's pipeline applies after entropy coding (ZSTD in the original
-// implementations). Two interchangeable codecs are provided:
+// implementations). Interchangeable codecs are provided:
 //
 //   - Flate: the stdlib DEFLATE implementation, the default back-end.
-//   - LZ: a from-scratch byte-oriented LZ77 codec with a hash-chain
-//     matcher, useful where a dependency-free fast path is preferred and
-//     as an ablation point (BenchmarkAblationLosslessBackend).
+//   - LZ: a from-scratch byte-oriented LZ77 codec ("lz/2", see lz.go) with
+//     a hash-chain matcher and 64-bit match kernels — the dependency-free
+//     fast path and an ablation point (BenchmarkAblationLosslessBackend).
+//   - Range: an adaptive binary range coder, the high-ratio ablation point.
+//   - Sharded: a container (sharded.go) that splits the plaintext into
+//     size-derived shards compressed and decompressed in parallel.
+//   - Auto: per-buffer (or per-shard) codec selection from EstimateBytes.
 //
-// Both are wrapped in a one-byte codec tag so streams are self-describing.
+// All streams open with a one-byte codec tag and the uvarint plaintext
+// length, so they are self-describing and the decoder can bound every
+// allocation before making it.
 package lossless
 
 import (
@@ -28,8 +34,17 @@ var flateWriterPool = sync.Pool{New: func() any {
 	return w
 }}
 
+// flateReaderState pairs a pooled flate reader with the bytes.Reader it
+// resets over, so a decompress call allocates neither.
+type flateReaderState struct {
+	br bytes.Reader
+	r  io.ReadCloser
+}
+
 var flateReaderPool = sync.Pool{New: func() any {
-	return flate.NewReader(bytes.NewReader(nil))
+	st := new(flateReaderState)
+	st.r = flate.NewReader(&st.br)
+	return st
 }}
 
 // Codec identifies a lossless back-end.
@@ -44,6 +59,23 @@ const (
 	LZ Codec = 2
 	// Range is the built-in adaptive binary range coder.
 	Range Codec = 3
+	// Sharded is the parallel container format (sharded.go). It appears
+	// as a stream tag only; use CompressSharded with an inner codec to
+	// produce it.
+	Sharded Codec = 4
+	// Auto selects the cheapest of flate, LZ and store from a sampled
+	// size estimate (estimate.go). Selection-only: the chosen codec's
+	// tag is what the stream records, so Auto is never written.
+	Auto Codec = 5
+	// Store is a selection-only alias for None: it compresses to the
+	// same stored stream (tag 0) but is a distinct option value, so
+	// engine Options — whose zero value means "default back-end" — can
+	// still request verbatim storage explicitly.
+	Store Codec = 6
+	// Huffman is order-0 canonical Huffman coding of the raw bytes
+	// (huff.go) — DEFLATE-grade ratio on match-free entropy-stage output
+	// at a fraction of the cost.
+	Huffman Codec = 7
 )
 
 // String implements fmt.Stringer.
@@ -57,14 +89,42 @@ func (c Codec) String() string {
 		return "lz"
 	case Range:
 		return "range"
+	case Sharded:
+		return "sharded"
+	case Auto:
+		return "auto"
+	case Store:
+		return "store"
+	case Huffman:
+		return "huffman"
 	default:
 		return fmt.Sprintf("codec(%d)", byte(c))
 	}
 }
 
+// flateCompressBody writes the DEFLATE stream for src to w using a
+// pooled writer.
+func flateCompressBody(w io.Writer, src []byte) error {
+	fw := flateWriterPool.Get().(*flate.Writer)
+	defer flateWriterPool.Put(fw)
+	fw.Reset(w)
+	if _, err := fw.Write(src); err != nil {
+		return err
+	}
+	return fw.Close()
+}
+
 // Compress encodes src with the chosen codec, prefixing the codec tag and
-// the uncompressed length.
+// the uncompressed length. Auto resolves to the cheapest estimated codec
+// first; the Sharded container has its own entry point (CompressSharded)
+// because it needs an inner codec and a worker count.
 func Compress(c Codec, src []byte) ([]byte, error) {
+	if c == Auto {
+		c = pickCodec(src)
+	}
+	if c == Store {
+		c = None
+	}
 	hdr := make([]byte, 1, 11)
 	hdr[0] = byte(c)
 	hdr = binary.AppendUvarint(hdr, uint64(len(src)))
@@ -73,23 +133,22 @@ func Compress(c Codec, src []byte) ([]byte, error) {
 		return append(hdr, src...), nil
 	case Flate:
 		var buf bytes.Buffer
+		buf.Grow(len(hdr) + len(src)/2 + 64)
 		buf.Write(hdr)
 		// Flate writers carry large internal match/window state; recycling
 		// them removes the dominant per-call allocation of this stage.
-		w := flateWriterPool.Get().(*flate.Writer)
-		defer flateWriterPool.Put(w)
-		w.Reset(&buf)
-		if _, err := w.Write(src); err != nil {
-			return nil, err
-		}
-		if err := w.Close(); err != nil {
+		if err := flateCompressBody(&buf, src); err != nil {
 			return nil, err
 		}
 		return buf.Bytes(), nil
 	case LZ:
-		return append(hdr, lzCompress(src)...), nil
+		return lzCompress(hdr, src), nil
 	case Range:
 		return rangeCompressTo(hdr, src), nil
+	case Huffman:
+		return huffCompressBody(hdr, src, 1), nil
+	case Sharded:
+		return nil, fmt.Errorf("lossless: use CompressSharded for the sharded container")
 	default:
 		return nil, fmt.Errorf("lossless: unknown codec %d", c)
 	}
@@ -111,7 +170,7 @@ func PayloadLimit(points int) int {
 
 // Decompress reverses Compress with no bound on the declared output size.
 func Decompress(data []byte) ([]byte, error) {
-	return DecompressLimit(data, -1)
+	return DecompressLimitWorkers(data, -1, 1)
 }
 
 // DecompressLimit is Decompress with an upper bound on the header-declared
@@ -121,6 +180,14 @@ func Decompress(data []byte) ([]byte, error) {
 // decode exactly as many bytes as the header claims). maxOut < 0 disables
 // the check.
 func DecompressLimit(data []byte, maxOut int) ([]byte, error) {
+	return DecompressLimitWorkers(data, maxOut, 1)
+}
+
+// DecompressLimitWorkers is DecompressLimit with a worker count for the
+// sharded container, whose shards decode in parallel. The other codecs
+// are single-body and ignore workers. The decoded bytes are identical
+// for every worker count.
+func DecompressLimitWorkers(data []byte, maxOut, workers int) ([]byte, error) {
 	if len(data) < 1 {
 		return nil, fmt.Errorf("%w: empty stream", ErrCorrupt)
 	}
@@ -140,32 +207,47 @@ func DecompressLimit(data []byte, maxOut int) ([]byte, error) {
 		}
 		return append([]byte(nil), body...), nil
 	case Flate:
-		r := flateReaderPool.Get().(io.ReadCloser)
-		defer flateReaderPool.Put(r)
-		if err := r.(flate.Resetter).Reset(bytes.NewReader(body), nil); err != nil {
-			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+		// DEFLATE expands at most ~1032x per spec, so n is admissible once
+		// it sits under both the caller's limit and the expansion bound;
+		// the output is then allocated exactly once and filled in place.
+		if n > 1032*uint64(len(body))+64 {
+			return nil, fmt.Errorf("%w: declared size %d impossible for %d input bytes", ErrCorrupt, n, len(body))
 		}
-		// The preallocation hint is clamped: DEFLATE expands at most ~1032x,
-		// so memory use stays proportional to the body even when the header
-		// lies about n in the unlimited path.
-		hint := n
-		if hint > 1<<20 {
-			hint = 1 << 20
+		out := make([]byte, n)
+		if err := flateDecompressInto(out, body); err != nil {
+			return nil, err
 		}
-		out := make([]byte, 0, hint)
-		buf := bytes.NewBuffer(out)
-		if _, err := io.Copy(buf, io.LimitReader(r, int64(n)+1)); err != nil {
-			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
-		}
-		if uint64(buf.Len()) != n {
-			return nil, fmt.Errorf("%w: flate length mismatch", ErrCorrupt)
-		}
-		return buf.Bytes(), nil
+		return out, nil
 	case LZ:
 		return lzDecompress(body, int(n))
 	case Range:
 		return rangeDecompress(body, int(n))
+	case Huffman:
+		return huffDecompress(body, int(n), workers)
+	case Sharded:
+		return decodeSharded(body, int(n), workers)
 	default:
 		return nil, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, c)
 	}
+}
+
+// flateDecompressInto inflates body into exactly dst, reading directly
+// into the destination with a pooled reader — no intermediate buffer.
+func flateDecompressInto(dst, body []byte) error {
+	st := flateReaderPool.Get().(*flateReaderState)
+	defer flateReaderPool.Put(st)
+	st.br.Reset(body)
+	if err := st.r.(flate.Resetter).Reset(&st.br, nil); err != nil {
+		return fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	if _, err := io.ReadFull(st.r, dst); err != nil {
+		return fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	// One byte past the declared length distinguishes "exactly n" from
+	// "stream kept going": both a short and a long body are corruption.
+	var probe [1]byte
+	if _, err := st.r.Read(probe[:]); err != io.EOF {
+		return fmt.Errorf("%w: flate length mismatch", ErrCorrupt)
+	}
+	return nil
 }

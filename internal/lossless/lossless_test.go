@@ -7,7 +7,7 @@ import (
 	"testing/quick"
 )
 
-var codecs = []Codec{None, Flate, LZ, Range}
+var codecs = []Codec{None, Flate, LZ, Range, Huffman}
 
 func roundTrip(t *testing.T, c Codec, src []byte) {
 	t.Helper()
@@ -113,6 +113,9 @@ func TestCorrupt(t *testing.T) {
 
 func TestCodecString(t *testing.T) {
 	if None.String() != "none" || Flate.String() != "flate" || LZ.String() != "lz" || Range.String() != "range" {
+		t.Error("codec names wrong")
+	}
+	if Sharded.String() != "sharded" || Auto.String() != "auto" || Store.String() != "store" || Huffman.String() != "huffman" {
 		t.Error("codec names wrong")
 	}
 	if Codec(77).String() == "" {

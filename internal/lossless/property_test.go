@@ -53,7 +53,7 @@ func TestPropertyRangeRoundTrip(t *testing.T) {
 // tagged Compress/Decompress wrapper for every codec.
 func TestPropertyCodecRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	for _, c := range []Codec{None, Flate, LZ, Range} {
+	for _, c := range []Codec{None, Flate, LZ, Range, Huffman, Store, Auto} {
 		for _, n := range []int{0, 1, 3, 64, 65, 1000, 4097} {
 			payload := randomPayload(rng, n)
 			enc, err := Compress(c, payload)
@@ -75,7 +75,7 @@ func TestPropertyCodecRoundTrip(t *testing.T) {
 // rejected as corrupt before any allocation; at or under it must decode.
 func TestDecompressLimit(t *testing.T) {
 	payload := bytes.Repeat([]byte("scdc"), 300)
-	for _, c := range []Codec{None, Flate, LZ, Range} {
+	for _, c := range []Codec{None, Flate, LZ, Range, Huffman} {
 		enc, err := Compress(c, payload)
 		if err != nil {
 			t.Fatal(err)

@@ -54,6 +54,9 @@ type Options struct {
 	Radius int32
 	// Lossless selects the final back-end. Default Flate.
 	Lossless lossless.Codec
+	// LosslessSharded wraps the lossless stage in the parallel sharded
+	// container (see sz3.Options); byte-identical at any worker count.
+	LosslessSharded bool
 	// Tune enables the auto-tuner. When false, QoZ behaves like SZ3 with
 	// an anchor grid (cubic, default order, alpha=1).
 	Tune bool
@@ -182,12 +185,7 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 	for _, v := range literals {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
-	llSp := opts.Obs.Child("lossless")
-	out, err := lossless.Compress(opts.Lossless, buf)
-	llSp.Add("bytes_in", int64(len(buf)))
-	llSp.Add("bytes_out", int64(len(out)))
-	llSp.End()
-	return out, err
+	return core.CompressLossless(opts.Lossless, opts.LosslessSharded, buf, opts.Workers, opts.Obs)
 }
 
 func encodePlan(pl plan, nd int) []byte {
@@ -285,11 +283,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	if err != nil {
 		return nil, err
 	}
-	llSp := sp.Child("lossless")
-	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
-	llSp.Add("bytes_in", int64(len(payload)))
-	llSp.Add("bytes_out", int64(len(buf)))
-	llSp.End()
+	buf, err := core.DecompressLossless(payload, lossless.PayloadLimit(n), workers, sp)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}

@@ -100,13 +100,29 @@ func EncodeDist(q []int32, d *entropy.Dist) []byte {
 // encodeBlock prices the three modes on one block and emits the cheapest.
 // ms is caller scratch of exactly len(block).
 //
+// The reslices up front restate that contract where the prove pass can
+// see it — both views share one length afterwards, so the mapping and
+// emit loops index each other check-free — and the literal buffer is
+// written through a suffix cursor whose emptiness guard replaces the
+// unprovable lits[nl] bound (the nobounds contract below; the guard
+// never fires because a block yields at most blockLen literals).
+//
 //scdc:hot
 //scdc:noalloc
+//scdc:nobounds
 func encodeBlock(w *bitstream.Writer, block []int32, center int32, ms []uint64) {
+	n := len(block)
+	if n > len(ms) {
+		n = len(ms)
+	}
+	block = block[:n]
+	ms = ms[:n]
+
 	centers := 0
 	for i, v := range block {
-		ms[i] = entropy.ZigZag(int64(v) - int64(center))
-		if ms[i] == 0 {
+		m := entropy.ZigZag(int64(v) - int64(center))
+		ms[i] = m
+		if m == 0 {
 			centers++
 		}
 	}
@@ -120,7 +136,7 @@ func encodeBlock(w *bitstream.Writer, block []int32, center int32, ms []uint64) 
 	// Mode 2 pricing: gamma codes for the center runs, rice codes of m-1
 	// for the literals.
 	var lits [blockLen]uint64
-	nl := 0
+	litTail := lits[:]
 	runBits, run := 0, 0
 	for _, m := range ms {
 		if m == 0 {
@@ -128,12 +144,20 @@ func encodeBlock(w *bitstream.Writer, block []int32, center int32, ms []uint64) 
 			continue
 		}
 		runBits += gammaBits(uint(run) + 1)
-		lits[nl] = m - 1
-		nl++
+		if len(litTail) > 0 {
+			litTail[0] = m - 1
+			litTail = litTail[1:]
+		}
 		run = 0
 	}
 	if run > 0 {
 		runBits += gammaBits(uint(run) + 1)
+	}
+	// The cursor only shrinks, so this clamp never fires — it restates
+	// len(litTail) <= blockLen for the prove pass.
+	nl := blockLen - len(litTail)
+	if nl < 0 {
+		nl = 0
 	}
 	k2, litBits := bestK(lits[:nl])
 	bits2 := runBits + litBits
@@ -196,7 +220,12 @@ func gammaBits(v uint) int {
 
 // bestK picks the Rice parameter for vals: a mean-derived starting point,
 // then exact pricing of the nearby candidates (ties to the smaller k, so
-// the choice is deterministic).
+// the choice is deterministic). The pricing loops only range, so the
+// whole pricer holds the nobounds contract alongside encodeBlock.
+//
+//scdc:hot
+//scdc:noalloc
+//scdc:nobounds
 func bestK(vals []uint64) (uint, int) {
 	if len(vals) == 0 {
 		return 0, 0

@@ -68,7 +68,15 @@ type Options struct {
 	// Radius is the quantization radius; 0 selects the SZ3 default 2^15.
 	Radius int32
 	// Lossless selects the final lossless back-end. Default Flate.
+	// lossless.Auto picks the cheapest codec from a sampled size
+	// estimate (per shard when LosslessSharded is set).
 	Lossless lossless.Codec
+	// LosslessSharded wraps the lossless stage in the parallel sharded
+	// container (Lossless becomes the inner codec), so the final stage
+	// compresses and decompresses under Workers goroutines. The stream
+	// is byte-identical for any worker count. Off by default: the
+	// legacy whole-buffer format is what the golden corpus pins.
+	LosslessSharded bool
 	// Choice controls interpolation/Lorenzo selection. Default auto.
 	Choice Choice
 	// DirOrder overrides the interpolation direction order (axis indexes).
@@ -296,12 +304,7 @@ func Compress(f *grid.Field, opts Options) ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 	}
 
-	llSp := opts.Obs.Child("lossless")
-	out, err := lossless.Compress(opts.Lossless, buf)
-	llSp.Add("bytes_in", int64(len(buf)))
-	llSp.Add("bytes_out", int64(len(out)))
-	llSp.End()
-	return out, err
+	return core.CompressLossless(opts.Lossless, opts.LosslessSharded, buf, opts.Workers, opts.Obs)
 }
 
 // Decompress reconstructs a field with the given dims from an SZ3 payload.
@@ -323,11 +326,7 @@ func DecompressObs(payload []byte, dims []int, workers int, sp *obs.Span) (*grid
 	if err != nil {
 		return nil, err
 	}
-	llSp := sp.Child("lossless")
-	buf, err := lossless.DecompressLimit(payload, lossless.PayloadLimit(n))
-	llSp.Add("bytes_in", int64(len(payload)))
-	llSp.Add("bytes_out", int64(len(buf)))
-	llSp.End()
+	buf, err := core.DecompressLossless(payload, lossless.PayloadLimit(n), workers, sp)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}

@@ -36,6 +36,7 @@ import (
 	"scdc/internal/entropy"
 	"scdc/internal/grid"
 	"scdc/internal/hpez"
+	"scdc/internal/lossless"
 	"scdc/internal/mgard"
 	"scdc/internal/obs"
 	"scdc/internal/obs/agg"
@@ -176,6 +177,99 @@ func ParseEntropyCoder(name string) (EntropyCoder, error) {
 	return EntropyCoder(c), nil
 }
 
+// LosslessCodec selects the final lossless back-end for the
+// interpolation-based algorithms. Decompression dispatches on the
+// stream's codec tag, so reading needs no option and every earlier
+// stream keeps decoding.
+type LosslessCodec byte
+
+const (
+	// LosslessDefault (the zero value) is the legacy whole-buffer DEFLATE
+	// back-end; streams are byte-identical to earlier releases.
+	LosslessDefault LosslessCodec = iota
+	// LosslessFlate is DEFLATE inside the sharded parallel container:
+	// the final stage splits into size-derived shards that compress and
+	// decompress concurrently under Options.Workers.
+	LosslessFlate
+	// LosslessLZ is the built-in kernelized LZ77 codec inside the sharded
+	// container — much faster than DEFLATE at a lower ratio.
+	LosslessLZ
+	// LosslessStore skips lossless compression (ablation point).
+	LosslessStore
+	// LosslessAuto picks flate, LZ, Huffman or store per shard of the
+	// sharded container from a sampled size estimate
+	// (lossless.EstimateBytes), preferring the faster codec when the
+	// estimates are within a couple of percent.
+	LosslessAuto
+	// LosslessHuffman is order-0 canonical Huffman coding of the stream
+	// bytes inside the sharded container — DEFLATE-grade ratio on the
+	// match-free entropy-stage output at a fraction of the cost.
+	LosslessHuffman
+)
+
+// String implements fmt.Stringer.
+func (c LosslessCodec) String() string {
+	switch c {
+	case LosslessDefault:
+		return "default"
+	case LosslessFlate:
+		return "flate"
+	case LosslessLZ:
+		return "lz"
+	case LosslessStore:
+		return "store"
+	case LosslessAuto:
+		return "auto"
+	case LosslessHuffman:
+		return "huffman"
+	default:
+		return fmt.Sprintf("lossless(%d)", byte(c))
+	}
+}
+
+// ParseLosslessCodec resolves a lower-case codec name ("default",
+// "flate", "lz", "store", "auto").
+func ParseLosslessCodec(name string) (LosslessCodec, error) {
+	switch name {
+	case "default", "":
+		return LosslessDefault, nil
+	case "flate":
+		return LosslessFlate, nil
+	case "lz":
+		return LosslessLZ, nil
+	case "store":
+		return LosslessStore, nil
+	case "auto":
+		return LosslessAuto, nil
+	case "huffman":
+		return LosslessHuffman, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown lossless codec %q", ErrBadOptions, name)
+	}
+}
+
+// valid reports whether c is a defined LosslessCodec value.
+func (c LosslessCodec) valid() bool { return c <= LosslessHuffman }
+
+// toEngine maps the front-door codec to the engine-level (codec,
+// sharded) pair.
+func (c LosslessCodec) toEngine() (lossless.Codec, bool) {
+	switch c {
+	case LosslessFlate:
+		return lossless.Flate, true
+	case LosslessLZ:
+		return lossless.LZ, true
+	case LosslessStore:
+		return lossless.Store, false
+	case LosslessAuto:
+		return lossless.Auto, true
+	case LosslessHuffman:
+		return lossless.Huffman, true
+	default:
+		return lossless.Flate, false
+	}
+}
+
 // Options configures Compress.
 type Options struct {
 	// Algorithm selects the compressor. Default SZ3.
@@ -205,6 +299,12 @@ type Options struct {
 	// (EntropyHuffman) reproduces the legacy streams byte-for-byte;
 	// EntropyAuto and EntropyRice opt into the Golomb-Rice sub-format.
 	Entropy EntropyCoder
+	// Lossless selects the final lossless back-end for the
+	// interpolation-based algorithms. The zero value (LosslessDefault)
+	// reproduces the legacy whole-buffer DEFLATE streams byte-for-byte;
+	// LosslessFlate/LosslessLZ/LosslessAuto opt into the sharded parallel
+	// container, whose bytes are identical for any worker count.
+	Lossless LosslessCodec
 	// Observer, when non-nil, collects per-stage telemetry spans for every
 	// Compress/CompressChunked call made with these options (see
 	// CompressWithStats for the one-shot form). Nil disables observation at
@@ -345,6 +445,12 @@ func compressSpan(data []float64, dims []int, opts Options, sp *obs.Span) ([]byt
 	if opts.Entropy != EntropyHuffman && !opts.Algorithm.SupportsQP() {
 		return nil, fmt.Errorf("%w: %v has no quantization index stream for entropy coder %v", ErrBadOptions, opts.Algorithm, opts.Entropy)
 	}
+	if !opts.Lossless.valid() {
+		return nil, fmt.Errorf("%w: unknown lossless codec %d", ErrBadOptions, opts.Lossless)
+	}
+	if opts.Lossless != LosslessDefault && !opts.Algorithm.SupportsQP() {
+		return nil, fmt.Errorf("%w: %v has no configurable lossless back-end (codec %v)", ErrBadOptions, opts.Algorithm, opts.Lossless)
+	}
 
 	var payload []byte
 	switch opts.Algorithm {
@@ -353,6 +459,7 @@ func compressSpan(data []float64, dims []int, opts Options, sp *obs.Span) ([]byt
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
 		o.Entropy = entropy.Coder(opts.Entropy)
+		o.Lossless, o.LosslessSharded = opts.Lossless.toEngine()
 		o.Obs = sp
 		payload, err = sz3.Compress(f, o)
 	case QoZ:
@@ -360,6 +467,7 @@ func compressSpan(data []float64, dims []int, opts Options, sp *obs.Span) ([]byt
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
 		o.Entropy = entropy.Coder(opts.Entropy)
+		o.Lossless, o.LosslessSharded = opts.Lossless.toEngine()
 		o.Obs = sp
 		payload, err = qoz.Compress(f, o)
 	case HPEZ:
@@ -367,6 +475,7 @@ func compressSpan(data []float64, dims []int, opts Options, sp *obs.Span) ([]byt
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
 		o.Entropy = entropy.Coder(opts.Entropy)
+		o.Lossless, o.LosslessSharded = opts.Lossless.toEngine()
 		o.Obs = sp
 		payload, err = hpez.Compress(f, o)
 	case MGARD:
@@ -374,6 +483,7 @@ func compressSpan(data []float64, dims []int, opts Options, sp *obs.Span) ([]byt
 		o.QP = opts.QP.toCore()
 		o.Workers, o.Shards = opts.Workers, opts.Shards
 		o.Entropy = entropy.Coder(opts.Entropy)
+		o.Lossless, o.LosslessSharded = opts.Lossless.toEngine()
 		o.Obs = sp
 		payload, err = mgard.Compress(f, o)
 	case ZFP:

@@ -1,0 +1,89 @@
+#!/bin/sh
+# bench_json_pr10.sh STATS_JSON RAW_OUTPUT > BENCH_pr10.json
+#
+# Assembles the lossless-back-end PR's benchmark snapshot from two
+# inputs captured by `make bench-pr10`:
+#   $1  scdc-stats/1 JSON written by `scdc -z ... -lossless auto -stats`
+#       (per-stage ns, same dataset/error bound as the PR 9 snapshot so
+#       every stage is comparable — this is also what `make gate`
+#       compares against BENCH_pr9.json)
+#   $2  raw text holding the BenchmarkLosslessCodecs rows: one compress
+#       and one decompress series per back-end, sharded variants at 4
+#       workers, with the compress rows reporting the achieved ratio
+#
+# The lossless_bench section is the per-codec ledger cmd/benchgate now
+# gates: a codec that slows past -tol or whose ratio drops past -crtol
+# in a later snapshot fails `make gate`. bounds_checks extends the PR 9
+# record with the rice encode-side counts this PR's cursor rewrite
+# removed (cmd/scdcgc enforces the zeros).
+set -eu
+stats=$1
+raw=$2
+
+cpu=$(sed -n 's/^cpu: //p' "$raw" | head -1)
+gover=$(go version | awk '{print $3 " " $4}')
+ncpu=$(nproc 2>/dev/null || echo unknown)
+
+summary=$(awk -F'"' '/"op"|"algorithm"|"schema"/ {print $4}' "$stats" | paste -sd' ' -)
+ratio=$(sed -n 's/^  "ratio": \([0-9.]*\),*$/\1/p' "$stats")
+bpv=$(sed -n 's/^  "bits_per_value": \([0-9.]*\),*$/\1/p' "$stats")
+
+cat <<EOF
+{
+  "description": "Lossless back-end snapshot for the sharded-container / auto-selection PR. Stages come from the scdc-stats/1 report of 'scdc -z -dataset Miranda -rel 1e-3 -alg SZ3 -qp -lossless auto -stats' (same dataset and error bound as the PR 9 snapshot; cmd/benchgate gates this file against results/BENCH_pr9.json — the auto pick trades <1% ratio for a multi-x faster lossless stage). lossless_bench holds the per-codec BenchmarkLosslessCodecs rows benchgate gates from this snapshot on. bounds_checks pins the rice encode-side check_bce counts removed by this PR's suffix-cursor rewrite; cmd/scdcgc enforces the zeros.",
+  "machine": {
+    "cpu": "$cpu",
+    "cpus_online": $ncpu,
+    "go": "$gover",
+    "date": "$(date +%Y-%m-%d)"
+  },
+  "command": "make bench-pr10",
+  "run": {
+    "stats": "$summary",
+    "ratio": ${ratio:-0},
+    "bits_per_value": ${bpv:-0}
+  },
+  "stage_ns": {
+EOF
+
+# Top-level report fields sit at 4-space indent, direct children of the
+# root span at 8 spaces, grandchildren deeper — so matching exactly 8
+# leading spaces yields the pipeline stages without nested pass spans.
+awk '
+/^        "name": / { split($0, a, "\""); name = a[4]; next }
+/^        "ns": /   {
+    ns = $2; sub(/,$/, "", ns)
+    line = sprintf("    \"%s\": %s", name, ns)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$stats"
+
+cat <<EOF
+  },
+  "bounds_checks": {
+    "rice.encodeBlock": {"before": 5, "after": 0},
+    "rice.bestK": {"before": 0, "after": 0}
+  },
+  "lossless_bench": {
+EOF
+
+awk '/^BenchmarkLosslessCodecs\// {
+    name = $1
+    sub(/^BenchmarkLosslessCodecs\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ratio = ""
+    for (i = 4; i <= NF; i++) if ($i == "ratio") ratio = $(i-1)
+    if (ratio != "")
+        line = sprintf("    \"%s\": {\"ns_op\": %s, \"ratio\": %s}", name, $3, ratio)
+    else
+        line = sprintf("    \"%s\": {\"ns_op\": %s}", name, $3)
+    if (out != "") print out ","
+    out = line
+}
+END { if (out != "") print out }' "$raw"
+
+cat <<EOF
+  }
+}
+EOF
